@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the CPU tensor engine and the threaded parallel
+//! decompositions built on it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradl_parallel::{data_parallel_gradients, filter_parallel_forward};
+use paradl_tensor::{
+    conv2d_forward, softmax_cross_entropy, Conv2dParams, SmallCnn, SmallCnnConfig, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor::random(&[4, 16, 16, 16], 1.0, &mut rng);
+    let weight = Tensor::random(&[16, 16, 3, 3], 0.2, &mut rng);
+    let bias = Tensor::zeros(&[16]);
+    c.bench_function("tensor/conv2d_4x16x16x16", |b| {
+        b.iter(|| {
+            std::hint::black_box(conv2d_forward(
+                &input,
+                &weight,
+                &bias,
+                Conv2dParams { stride: 1, padding: 1 },
+            ))
+        })
+    });
+}
+
+fn setup_net() -> (SmallCnn, Tensor, Vec<usize>) {
+    let config = SmallCnnConfig {
+        in_channels: 4,
+        input_side: 16,
+        conv1_filters: 8,
+        conv2_filters: 16,
+        classes: 8,
+    };
+    let net = SmallCnn::new(config, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::random(&[8, 4, 16, 16], 1.0, &mut rng);
+    let labels = (0..8).map(|_| rng.gen_range(0..8)).collect();
+    (net, x, labels)
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let (net, x, labels) = setup_net();
+    c.bench_function("tensor/sequential_forward_backward", |b| {
+        b.iter(|| {
+            let trace = net.forward(&x);
+            let (_, d_logits) = softmax_cross_entropy(&trace.logits, &labels);
+            std::hint::black_box(net.backward(&trace, &d_logits))
+        })
+    });
+}
+
+fn bench_parallel_strategies(c: &mut Criterion) {
+    let (net, x, labels) = setup_net();
+    c.bench_function("parallel/data_parallel_4_workers", |b| {
+        b.iter(|| std::hint::black_box(data_parallel_gradients(&net, &x, &labels, 4)))
+    });
+    c.bench_function("parallel/filter_parallel_4_workers", |b| {
+        b.iter(|| std::hint::black_box(filter_parallel_forward(&net, &x, 4)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv, bench_training_step, bench_parallel_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! §5.2 headline numbers: the oracle's average projection accuracy against
+//! the measured (simulated) runs, per strategy and overall — the paper
+//! reports 86.74% on average and up to 97.57% for data parallelism.
+
+use paradl_bench::{compare, figure3_pe_counts, samples_per_gpu};
+use paradl_core::prelude::*;
+use paradl_sim::OverheadModel;
+use std::collections::BTreeMap;
+
+fn main() {
+    let device = DeviceProfile::v100();
+    let cluster = ClusterSpec::paper_system();
+    let overheads = OverheadModel::chainermnx_quiet();
+
+    let mut per_strategy: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for model in paradl_models::imagenet_models() {
+        let spg = samples_per_gpu(&model.name);
+        for kind in StrategyKind::EVALUATED {
+            for p in figure3_pe_counts(kind) {
+                let batch = match kind {
+                    StrategyKind::Filter | StrategyKind::Channel | StrategyKind::Pipeline => 32,
+                    _ => spg * p,
+                };
+                let config = TrainingConfig::imagenet(batch);
+                let oracle = Oracle::new(&model, &device, &cluster, config);
+                let strategy = oracle.instantiate(kind, p, 8);
+                if strategy.validate(&model, batch).is_err() {
+                    continue;
+                }
+                let point =
+                    compare(&model, &device, &cluster, &config, strategy, overheads, 2);
+                per_strategy
+                    .entry(kind.to_string())
+                    .or_default()
+                    .push(point.accuracy());
+            }
+        }
+    }
+
+    println!("ParaDL projection accuracy vs simulated measurements\n");
+    println!("{:<16} {:>8} {:>10} {:>10}", "strategy", "points", "mean", "max");
+    let mut all = Vec::new();
+    for (name, accs) in &per_strategy {
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let max = accs.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:<16} {:>8} {:>9.1}% {:>9.1}%",
+            name,
+            accs.len(),
+            mean * 100.0,
+            max * 100.0
+        );
+        all.extend_from_slice(accs);
+    }
+    let overall = all.iter().sum::<f64>() / all.len().max(1) as f64;
+    let best = all.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nOverall: {:.2}% average, {:.2}% best   (paper: 86.74% average, 97.57% best)",
+        overall * 100.0,
+        best * 100.0
+    );
+}

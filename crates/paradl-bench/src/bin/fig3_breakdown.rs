@@ -1,0 +1,71 @@
+//! Figure 3: oracle projection vs measured (simulated) time breakdown for
+//! ResNet-50, ResNet-152 and VGG16 under the six parallel strategies, with
+//! the per-configuration accuracy label. Data/hybrid strategies weak-scale
+//! 16→1024 GPUs; filter/channel strong-scale 4→64; pipeline runs on up to 4.
+
+use paradl_bench::{
+    compare, figure3_pe_counts, print_comparison_header, print_comparison_row, samples_per_gpu,
+};
+use paradl_core::prelude::*;
+use paradl_sim::OverheadModel;
+
+fn main() {
+    let device = DeviceProfile::v100();
+    let cluster = ClusterSpec::paper_system();
+    let overheads = OverheadModel::chainermnx_quiet();
+
+    println!("Figure 3 — oracle vs measured per-iteration time breakdown\n");
+    print_comparison_header();
+
+    let mut accuracies: Vec<(StrategyKind, f64)> = Vec::new();
+    for model in paradl_models::imagenet_models() {
+        let spg = samples_per_gpu(&model.name);
+        for kind in [
+            StrategyKind::Data,
+            StrategyKind::Filter,
+            StrategyKind::Channel,
+            StrategyKind::Pipeline,
+            StrategyKind::DataFilter,
+            StrategyKind::DataSpatial,
+        ] {
+            for p in figure3_pe_counts(kind) {
+                // Weak scaling for data/hybrids, strong scaling (fixed batch)
+                // for filter/channel/pipeline, as in the paper.
+                let batch = match kind {
+                    StrategyKind::Filter | StrategyKind::Channel | StrategyKind::Pipeline => 32,
+                    _ => spg * p,
+                };
+                let config = TrainingConfig::imagenet(batch);
+                let oracle = Oracle::new(&model, &device, &cluster, config);
+                let strategy = oracle.instantiate(kind, p, 8);
+                if strategy.validate(&model, batch).is_err() {
+                    continue;
+                }
+                let point =
+                    compare(&model, &device, &cluster, &config, strategy, overheads, 2);
+                print_comparison_row(&model.name, &point);
+                accuracies.push((kind, point.accuracy()));
+            }
+        }
+        println!();
+    }
+
+    println!("Per-strategy average accuracy (paper reports 96.1% d, 85.6% f, 73.7% c, 90.2% p, 91.4% df, 83.5% ds):");
+    for kind in StrategyKind::EVALUATED {
+        let vals: Vec<f64> = accuracies
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, a)| *a)
+            .collect();
+        if !vals.is_empty() {
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            println!("  {:<14} {:>5.1}%", kind.to_string(), mean * 100.0);
+        }
+    }
+    let overall: f64 =
+        accuracies.iter().map(|(_, a)| *a).sum::<f64>() / accuracies.len().max(1) as f64;
+    println!(
+        "\nOverall average accuracy: {:.1}%  (paper: 86.74%)",
+        overall * 100.0
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 4: ParaDL prediction accuracy for CosmoFlow with the Data+Spatial
+//! hybrid (the only strategy that fits the sample in memory), 16→1024 GPUs.
+
+use paradl_bench::compare;
+use paradl_core::prelude::*;
+use paradl_sim::OverheadModel;
+
+fn main() {
+    let model = paradl_models::cosmoflow();
+    let device = DeviceProfile::v100();
+    let cluster = ClusterSpec::paper_system();
+
+    println!("Figure 4 — CosmoFlow Data+Spatial prediction accuracy\n");
+    println!(
+        "{:>6} {:>8} {:>16} {:>16} {:>10}",
+        "GPUs", "batch", "projected (s/it)", "measured (s/it)", "accuracy"
+    );
+    let mut accs = Vec::new();
+    // One node (4 GPUs) per spatial group, one sample per node (0.25/GPU).
+    for p1 in [4usize, 16, 64, 256] {
+        let p = 4 * p1;
+        let batch = p1; // one sample per spatial group
+        let config = TrainingConfig::cosmoflow(batch);
+        let strategy = Strategy::DataSpatial { p1, split: SpatialSplit::balanced_3d(4) };
+        let point = compare(
+            &model,
+            &device,
+            &cluster,
+            &config,
+            strategy,
+            OverheadModel::chainermnx_quiet(),
+            2,
+        );
+        println!(
+            "{:>6} {:>8} {:>16.3} {:>16.3} {:>9.1}%",
+            p,
+            batch,
+            point.projected.total(),
+            point.measured.total(),
+            point.accuracy() * 100.0
+        );
+        accs.push(point.accuracy());
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    println!(
+        "\nAverage CosmoFlow accuracy: {:.1}%  (paper: 74.14%)",
+        mean * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 3: the analytical model itself — per-strategy per-epoch computation
+//! time, communication time, maximum memory per PE and the scaling limit,
+//! evaluated symbolically on ResNet-50 so the relative structure of the
+//! formulas is visible as numbers.
+
+use paradl_core::prelude::*;
+
+fn main() {
+    let model = paradl_models::resnet50();
+    let device = DeviceProfile::v100();
+    let cluster = ClusterSpec::paper_system();
+    let p = 16usize;
+    let config = TrainingConfig::imagenet(32 * p);
+    let oracle = Oracle::new(&model, &device, &cluster, config);
+
+    println!(
+        "Table 3 — analytical model evaluated on {} (p = {p}, B = {})\n",
+        model.name, config.batch_size
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>12}",
+        "strategy", "T_comp (s/ep)", "T_comm (s/ep)", "mem/PE (GB)", "max PEs"
+    );
+    let strategies = [
+        (Strategy::Serial, StrategyKind::Serial),
+        (Strategy::Data { p }, StrategyKind::Data),
+        (
+            Strategy::Spatial { split: SpatialSplit::balanced_2d(p) },
+            StrategyKind::Spatial,
+        ),
+        (Strategy::Pipeline { p: 4, segments: 8 }, StrategyKind::Pipeline),
+        (Strategy::Filter { p }, StrategyKind::Filter),
+        (Strategy::Channel { p }, StrategyKind::Channel),
+        (Strategy::DataFilter { p1: p / 4, p2: 4 }, StrategyKind::DataFilter),
+        (
+            Strategy::DataSpatial { p1: p / 4, split: SpatialSplit::balanced_2d(4) },
+            StrategyKind::DataSpatial,
+        ),
+    ];
+    for (strategy, kind) in strategies {
+        let est = oracle.project(strategy).cost;
+        println!(
+            "{:<24} {:>14.1} {:>14.1} {:>14.2} {:>12}",
+            strategy.to_string(),
+            est.per_epoch.compute(),
+            est.per_epoch.communication(),
+            est.memory_per_pe_bytes / 1e9,
+            Strategy::max_pes(&model, config.batch_size, kind)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 5: the models and datasets used in the evaluation — sample counts,
+//! sample shapes, parameter counts and layer counts.
+
+use paradl_data::DatasetSpec;
+
+fn main() {
+    println!("Table 5 — models and datasets\n");
+    println!(
+        "{:<12} {:<12} {:>12} {:>18} {:>12} {:>8}",
+        "model", "dataset", "#samples", "sample shape", "#params", "#layers"
+    );
+    let imagenet = DatasetSpec::imagenet();
+    let cosmo = DatasetSpec::cosmoflow();
+    for model in paradl_models::paper_models() {
+        let (ds_name, samples, shape) = if model.name.starts_with("CosmoFlow") {
+            (
+                cosmo.name.clone(),
+                cosmo.samples,
+                format!("{}x{:?}", cosmo.channels, cosmo.spatial),
+            )
+        } else {
+            (
+                imagenet.name.clone(),
+                imagenet.samples,
+                format!("{}x{:?}", imagenet.channels, imagenet.spatial),
+            )
+        };
+        println!(
+            "{:<12} {:<12} {:>12} {:>18} {:>11.1}M {:>8}",
+            model.name,
+            ds_name,
+            samples,
+            shape,
+            model.total_params() as f64 / 1e6,
+            model.num_layers()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 6: the summary of detected limitations (L) and bottlenecks (B) per
+//! parallel strategy, training phase and component, plus a quantitative
+//! diagnosis of each strategy on ResNet-50 at 64 GPUs.
+
+use paradl_core::limits::{diagnose_default, table6};
+use paradl_core::prelude::*;
+
+fn main() {
+    println!("Table 6 — limitations (L) and bottlenecks (B)\n");
+    for issue in table6() {
+        println!("{issue}");
+    }
+
+    println!("\nQuantitative diagnosis (ResNet-50, 64 GPUs, weak scaling):");
+    let model = paradl_models::resnet50();
+    let device = DeviceProfile::v100();
+    let cluster = ClusterSpec::paper_system();
+    let config = TrainingConfig::imagenet(32 * 64);
+    let oracle = Oracle::new(&model, &device, &cluster, config);
+    for proj in oracle.survey(64, &Constraints::default()) {
+        let diag = diagnose_default(&proj.cost);
+        println!("\n  {}:", proj.cost.strategy);
+        if diag.findings.is_empty() {
+            println!("    no dominant limitation detected");
+        }
+        for (finding, value) in diag.findings {
+            println!("    - {finding} ({:.0}%)", value * 100.0);
+        }
+    }
+}

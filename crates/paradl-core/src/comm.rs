@@ -1,0 +1,305 @@
+//! Communication cost model (paper §4.3).
+//!
+//! Peer-to-peer transfers follow the Hockney α–β model,
+//! `T_p2p(m) = α + m·β`, where `α` is the start-up latency and `β` the
+//! inverse bandwidth (seconds per byte). Collectives follow the common NCCL
+//! practice: ring algorithms for large messages and tree algorithms for small
+//! ones. A contention penalty coefficient `φ` divides the effective link
+//! bandwidth by the number of flows sharing the link (self-contention of the
+//! training job, e.g. the segmented Allreduces of hybrid strategies).
+
+/// Hockney parameters of a (logical) link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Start-up latency α in seconds.
+    pub alpha: f64,
+    /// Inverse bandwidth β in seconds per byte.
+    pub beta: f64,
+}
+
+impl LinkParams {
+    /// Builds link parameters from a latency in microseconds and a bandwidth
+    /// in GB/s — the units vendors quote.
+    pub fn from_latency_bandwidth(latency_us: f64, bandwidth_gbps: f64) -> Self {
+        LinkParams {
+            alpha: latency_us * 1e-6,
+            beta: 1.0 / (bandwidth_gbps * 1e9),
+        }
+    }
+
+    /// NVLink-class intra-node link (paper system: 20 GB/s NVLink).
+    pub fn nvlink() -> Self {
+        Self::from_latency_bandwidth(5.0, 20.0)
+    }
+
+    /// PCIe Gen3 x16 (16 GB/s).
+    pub fn pcie_gen3() -> Self {
+        Self::from_latency_bandwidth(8.0, 16.0)
+    }
+
+    /// InfiniBand EDR (12.5 GB/s per rail, two rails per node in the paper's
+    /// system; we expose a single-rail default).
+    pub fn infiniband_edr() -> Self {
+        Self::from_latency_bandwidth(15.0, 12.5)
+    }
+
+    /// Inter-rack InfiniBand with 1:3 over-subscription.
+    pub fn infiniband_oversubscribed() -> Self {
+        Self::from_latency_bandwidth(20.0, 12.5 / 3.0)
+    }
+
+    /// Peer-to-peer time for `m` bytes: `α + m·β`.
+    pub fn p2p_time(&self, bytes: f64) -> f64 {
+        self.alpha + bytes * self.beta
+    }
+
+    /// Returns a copy with the bandwidth divided by the contention factor φ.
+    pub fn with_contention(&self, phi: f64) -> Self {
+        LinkParams {
+            alpha: self.alpha,
+            beta: self.beta * phi.max(1.0),
+        }
+    }
+}
+
+/// Collective algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveAlgorithm {
+    /// Ring algorithm: `2(p−1)` steps of `m/p` bytes for Allreduce,
+    /// `(p−1)` steps for Allgather/Reduce-Scatter.
+    Ring,
+    /// Tree algorithm for small messages: `2(log2 p + k)` pipelined steps with
+    /// the message split into `k` chunks (paper footnote 4).
+    Tree {
+        /// Number of pipeline chunks `k`.
+        chunks: usize,
+    },
+    /// Automatic selection: tree below the threshold, ring above.
+    Auto {
+        /// Message-size threshold in bytes for switching from tree to ring.
+        threshold_bytes: usize,
+    },
+}
+
+impl Default for CollectiveAlgorithm {
+    fn default() -> Self {
+        // NCCL-like default: small messages use trees, large use rings.
+        CollectiveAlgorithm::Auto { threshold_bytes: 512 * 1024 }
+    }
+}
+
+/// Communication model over a set of `p` PEs connected with homogeneous
+/// `link` parameters (the hierarchical refinement lives in
+/// [`crate::cluster::ClusterSpec`], which produces one `CommModel` per
+/// communicator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// Link parameters used between ring/tree neighbours.
+    pub link: LinkParams,
+    /// Collective algorithm policy.
+    pub algorithm: CollectiveAlgorithm,
+    /// Contention penalty coefficient φ ≥ 1 applied to the bandwidth term.
+    pub contention: f64,
+}
+
+impl CommModel {
+    /// A model with no contention and the default (auto) algorithm.
+    pub fn new(link: LinkParams) -> Self {
+        CommModel { link, algorithm: CollectiveAlgorithm::default(), contention: 1.0 }
+    }
+
+    /// Sets the contention penalty coefficient φ.
+    pub fn with_contention(mut self, phi: f64) -> Self {
+        self.contention = phi.max(1.0);
+        self
+    }
+
+    /// Sets the collective algorithm policy.
+    pub fn with_algorithm(mut self, algorithm: CollectiveAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    fn effective_link(&self) -> LinkParams {
+        self.link.with_contention(self.contention)
+    }
+
+    /// Peer-to-peer transfer time `T_p2p(m) = α + m·β` for `bytes` bytes.
+    pub fn p2p(&self, bytes: f64) -> f64 {
+        self.effective_link().p2p_time(bytes)
+    }
+
+    fn resolve(&self, bytes: f64) -> CollectiveAlgorithm {
+        match self.algorithm {
+            CollectiveAlgorithm::Auto { threshold_bytes } => {
+                if bytes < threshold_bytes as f64 {
+                    CollectiveAlgorithm::Tree { chunks: 4 }
+                } else {
+                    CollectiveAlgorithm::Ring
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Allreduce time `T_ar(p, m)` for a buffer of `bytes` bytes over `p` PEs.
+    ///
+    /// Ring: `2(p−1)(α + (m/p)·β)`. Tree: `2(log2 p + k)(α + (m/2k)·β)`.
+    pub fn allreduce(&self, p: usize, bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.effective_link();
+        match self.resolve(bytes) {
+            CollectiveAlgorithm::Ring => {
+                2.0 * (p as f64 - 1.0) * (link.alpha + bytes / p as f64 * link.beta)
+            }
+            CollectiveAlgorithm::Tree { chunks } => {
+                let k = chunks.max(1) as f64;
+                2.0 * ((p as f64).log2() + k) * (link.alpha + bytes / (2.0 * k) * link.beta)
+            }
+            CollectiveAlgorithm::Auto { .. } => unreachable!("resolved above"),
+        }
+    }
+
+    /// Allgather time `T_ag(p, m)` where `bytes` is the **total** gathered
+    /// buffer size: `(p−1)(α + (m/p)·β)` in the ring algorithm (each PE
+    /// contributes `m/p` bytes and the result is `m` bytes everywhere).
+    pub fn allgather(&self, p: usize, bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.effective_link();
+        match self.resolve(bytes) {
+            CollectiveAlgorithm::Ring | CollectiveAlgorithm::Auto { .. } => {
+                (p as f64 - 1.0) * (link.alpha + bytes / p as f64 * link.beta)
+            }
+            CollectiveAlgorithm::Tree { chunks } => {
+                let k = chunks.max(1) as f64;
+                ((p as f64).log2() + k) * (link.alpha + bytes / (2.0 * k) * link.beta)
+            }
+        }
+    }
+
+    /// Reduce-scatter time: `(p−1)(α + (m/p)·β)` in the ring algorithm.
+    pub fn reduce_scatter(&self, p: usize, bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.effective_link();
+        (p as f64 - 1.0) * (link.alpha + bytes / p as f64 * link.beta)
+    }
+
+    /// Broadcast time with a binomial tree: `⌈log2 p⌉ (α + m·β)`.
+    pub fn broadcast(&self, p: usize, bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.effective_link();
+        (p as f64).log2().ceil() * (link.alpha + bytes * link.beta)
+    }
+
+    /// Scatter time from one root: `(p−1)/p · m·β + ⌈log2 p⌉·α` (tree scatter
+    /// of a `m`-byte buffer partitioned into `p` pieces).
+    pub fn scatter(&self, p: usize, bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.effective_link();
+        (p as f64).log2().ceil() * link.alpha + (p as f64 - 1.0) / p as f64 * bytes * link.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_model() -> CommModel {
+        CommModel::new(LinkParams { alpha: 1e-5, beta: 1e-9 })
+            .with_algorithm(CollectiveAlgorithm::Ring)
+    }
+
+    #[test]
+    fn p2p_is_alpha_beta() {
+        let m = ring_model();
+        let t = m.p2p(1e6);
+        assert!((t - (1e-5 + 1e6 * 1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ring_allreduce_matches_formula() {
+        let m = ring_model();
+        let p = 8;
+        let bytes = 1024.0 * 1024.0;
+        let expected = 2.0 * 7.0 * (1e-5 + bytes / 8.0 * 1e-9);
+        assert!((m.allreduce(p, bytes) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_allgather_matches_formula() {
+        let m = ring_model();
+        let p = 4;
+        let bytes = 4096.0;
+        let expected = 3.0 * (1e-5 + bytes / 4.0 * 1e-9);
+        assert!((m.allgather(p, bytes) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pe_collectives_are_free() {
+        let m = ring_model();
+        assert_eq!(m.allreduce(1, 1e9), 0.0);
+        assert_eq!(m.allgather(1, 1e9), 0.0);
+        assert_eq!(m.broadcast(1, 1e9), 0.0);
+        assert_eq!(m.reduce_scatter(1, 1e9), 0.0);
+    }
+
+    #[test]
+    fn contention_scales_bandwidth_term_only() {
+        let base = ring_model();
+        let contended = ring_model().with_contention(2.0);
+        let bytes = 1e8;
+        let p = 16;
+        let t0 = base.allreduce(p, bytes);
+        let t1 = contended.allreduce(p, bytes);
+        assert!(t1 > t0);
+        // The alpha part is unchanged; the beta part doubles.
+        let alpha_part = 2.0 * 15.0 * 1e-5;
+        assert!(((t1 - alpha_part) / (t0 - alpha_part) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_below_one_is_clamped() {
+        let m = CommModel::new(LinkParams { alpha: 0.0, beta: 1e-9 }).with_contention(0.1);
+        assert_eq!(m.contention, 1.0);
+    }
+
+    #[test]
+    fn auto_switches_between_tree_and_ring() {
+        let m = CommModel::new(LinkParams { alpha: 1e-5, beta: 1e-9 });
+        // Small message: tree (latency-dominated) should beat a hypothetical ring
+        // with many PEs.
+        let small = 1024.0;
+        let large = 100e6;
+        let p = 256;
+        let ring = CommModel::new(LinkParams { alpha: 1e-5, beta: 1e-9 })
+            .with_algorithm(CollectiveAlgorithm::Ring);
+        assert!(m.allreduce(p, small) < ring.allreduce(p, small));
+        // Large message: auto picks ring and matches it exactly.
+        assert!((m.allreduce(p, large) - ring.allreduce(p, large)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_message_size_and_pes() {
+        let m = ring_model();
+        assert!(m.allreduce(8, 2e6) > m.allreduce(8, 1e6));
+        assert!(m.allreduce(16, 1e6) > m.allreduce(8, 1e6));
+    }
+
+    #[test]
+    fn link_presets_are_sane() {
+        assert!(LinkParams::nvlink().beta < LinkParams::infiniband_edr().beta);
+        assert!(
+            LinkParams::infiniband_oversubscribed().beta > LinkParams::infiniband_edr().beta
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Empirical-parameter substitute: per-layer compute times (`FW_l`, `BW_l`,
+//! `WU_l`).
+//!
+//! The paper profiles the average per-sample forward/backward time of each
+//! layer on the target GPU and feeds those numbers to the oracle (§4.4). We
+//! do not have the authors' V100 profiles, so this module provides a
+//! [`DeviceProfile`] that derives per-layer times analytically from FLOP
+//! counts, a peak throughput, per-layer-kind efficiency factors and a fixed
+//! kernel-launch overhead. Any other source of per-layer times (e.g. a table
+//! loaded from a benchmark database) can be supplied by implementing
+//! [`ComputeModel`].
+
+use crate::layer::{Layer, LayerKind};
+
+/// Per-layer compute-time source. Times are **per sample** for forward and
+/// backward, and **per iteration** for the weight update, matching the
+/// definitions of `FW_l`, `BW_l` and `WU_l` in the paper.
+pub trait ComputeModel {
+    /// Forward time of `layer` for a single sample, in seconds.
+    fn forward_time(&self, layer: &Layer) -> f64;
+    /// Backward time of `layer` for a single sample, in seconds.
+    fn backward_time(&self, layer: &Layer) -> f64;
+    /// Weight-update time of `layer` for one iteration, in seconds.
+    fn weight_update_time(&self, layer: &Layer) -> f64;
+
+    /// Forward time when only a `fraction` (0, 1] of the layer's work is
+    /// assigned to this PE (model-parallel splits). The default divides the
+    /// arithmetic part and keeps the fixed overhead, which captures the
+    /// "convolution does not scale perfectly" effect the paper observes
+    /// (Figure 8).
+    fn forward_time_split(&self, layer: &Layer, fraction: f64) -> f64 {
+        self.forward_time(layer) * fraction
+    }
+
+    /// Backward analogue of [`ComputeModel::forward_time_split`].
+    fn backward_time_split(&self, layer: &Layer, fraction: f64) -> f64 {
+        self.backward_time(layer) * fraction
+    }
+}
+
+/// Analytical device profile: `time = FLOPs / (peak · efficiency(kind)) +
+/// overhead`. The efficiency factors default to values representative of
+/// cuDNN-era GPU kernels (convolutions near peak, memory-bound layers far
+/// below it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Peak throughput in FLOP/s (e.g. 15.7e12 for V100 FP32, 125e12 for
+    /// tensor-core FP16).
+    pub peak_flops: f64,
+    /// Efficiency of convolution / FC kernels relative to peak.
+    pub conv_efficiency: f64,
+    /// Efficiency of memory-bound layers (pooling, ReLU, BN, add).
+    pub memory_bound_efficiency: f64,
+    /// Fixed per-layer kernel-launch overhead in seconds.
+    pub kernel_overhead: f64,
+    /// Weight-update throughput in elements/s (SGD is memory-bound).
+    pub update_elements_per_sec: f64,
+}
+
+impl DeviceProfile {
+    /// A profile representative of a single NVIDIA V100 (the paper's GPU):
+    /// 15.7 TFLOP/s FP32 peak, convolutions at ~55% of peak, memory-bound
+    /// layers at ~5%, 5 µs launch overhead, 30 G updated weights/s.
+    pub fn v100() -> Self {
+        DeviceProfile {
+            peak_flops: 15.7e12,
+            conv_efficiency: 0.55,
+            memory_bound_efficiency: 0.05,
+            kernel_overhead: 5e-6,
+            update_elements_per_sec: 30e9,
+        }
+    }
+
+    /// A deliberately slow profile useful in tests (1 GFLOP/s, no overhead).
+    pub fn reference_cpu() -> Self {
+        DeviceProfile {
+            peak_flops: 1e9,
+            conv_efficiency: 1.0,
+            memory_bound_efficiency: 1.0,
+            kernel_overhead: 0.0,
+            update_elements_per_sec: 1e9,
+        }
+    }
+
+    fn efficiency(&self, kind: LayerKind) -> f64 {
+        match kind {
+            LayerKind::Conv | LayerKind::FullyConnected => self.conv_efficiency,
+            _ => self.memory_bound_efficiency,
+        }
+    }
+}
+
+impl ComputeModel for DeviceProfile {
+    fn forward_time(&self, layer: &Layer) -> f64 {
+        let eff = self.efficiency(layer.kind).max(1e-6);
+        layer.flops_forward() as f64 / (self.peak_flops * eff) + self.kernel_overhead
+    }
+
+    fn backward_time(&self, layer: &Layer) -> f64 {
+        let eff = self.efficiency(layer.kind).max(1e-6);
+        layer.flops_backward() as f64 / (self.peak_flops * eff) + self.kernel_overhead
+    }
+
+    fn weight_update_time(&self, layer: &Layer) -> f64 {
+        if layer.param_count() == 0 {
+            return 0.0;
+        }
+        layer.param_count() as f64 / self.update_elements_per_sec + self.kernel_overhead
+    }
+
+    fn forward_time_split(&self, layer: &Layer, fraction: f64) -> f64 {
+        let eff = self.efficiency(layer.kind).max(1e-6);
+        layer.flops_forward() as f64 * fraction / (self.peak_flops * eff) + self.kernel_overhead
+    }
+
+    fn backward_time_split(&self, layer: &Layer, fraction: f64) -> f64 {
+        let eff = self.efficiency(layer.kind).max(1e-6);
+        layer.flops_backward() as f64 * fraction / (self.peak_flops * eff) + self.kernel_overhead
+    }
+}
+
+/// A compute model backed by an explicit per-layer table of measured times,
+/// mirroring the paper's empirical parametrization. Falls back to an inner
+/// analytical profile for layers missing from the table.
+#[derive(Debug, Clone)]
+pub struct TabulatedProfile {
+    /// Measured `(forward, backward, weight-update)` seconds per layer name.
+    pub entries: std::collections::HashMap<String, (f64, f64, f64)>,
+    /// Fallback profile for layers without an entry.
+    pub fallback: DeviceProfile,
+}
+
+impl TabulatedProfile {
+    /// Creates an empty table with the given fallback.
+    pub fn new(fallback: DeviceProfile) -> Self {
+        TabulatedProfile { entries: std::collections::HashMap::new(), fallback }
+    }
+
+    /// Records a measured entry for `layer_name`.
+    pub fn insert(&mut self, layer_name: impl Into<String>, fw: f64, bw: f64, wu: f64) {
+        self.entries.insert(layer_name.into(), (fw, bw, wu));
+    }
+}
+
+impl ComputeModel for TabulatedProfile {
+    fn forward_time(&self, layer: &Layer) -> f64 {
+        self.entries
+            .get(&layer.name)
+            .map(|e| e.0)
+            .unwrap_or_else(|| self.fallback.forward_time(layer))
+    }
+
+    fn backward_time(&self, layer: &Layer) -> f64 {
+        self.entries
+            .get(&layer.name)
+            .map(|e| e.1)
+            .unwrap_or_else(|| self.fallback.backward_time(layer))
+    }
+
+    fn weight_update_time(&self, layer: &Layer) -> f64 {
+        self.entries
+            .get(&layer.name)
+            .map(|e| e.2)
+            .unwrap_or_else(|| self.fallback.weight_update_time(layer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_time_scales_with_flops() {
+        let p = DeviceProfile::reference_cpu();
+        let small = Layer::conv2d("s", 8, 8, (16, 16), 3, 1, 1);
+        let large = Layer::conv2d("l", 64, 64, (16, 16), 3, 1, 1);
+        assert!(p.forward_time(&large) > p.forward_time(&small));
+        // With unit efficiency and no overhead the ratio equals the FLOP ratio.
+        let ratio = p.forward_time(&large) / p.forward_time(&small);
+        let flop_ratio = large.flops_forward() as f64 / small.flops_forward() as f64;
+        assert!((ratio - flop_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward_for_conv() {
+        let p = DeviceProfile::v100();
+        let l = Layer::conv2d("c", 64, 64, (56, 56), 3, 1, 1);
+        assert!(p.backward_time(&l) > p.forward_time(&l));
+    }
+
+    #[test]
+    fn weight_update_zero_for_weightless_layers() {
+        let p = DeviceProfile::v100();
+        let r = Layer::relu("r", 64, &[56, 56]);
+        assert_eq!(p.weight_update_time(&r), 0.0);
+        let c = Layer::conv2d("c", 64, 64, (56, 56), 3, 1, 1);
+        assert!(p.weight_update_time(&c) > 0.0);
+    }
+
+    #[test]
+    fn split_time_keeps_kernel_overhead() {
+        let p = DeviceProfile::v100();
+        let l = Layer::conv2d("c", 64, 128, (56, 56), 3, 1, 1);
+        let full = p.forward_time(&l);
+        let half = p.forward_time_split(&l, 0.5);
+        // Splitting halves the arithmetic but not the overhead.
+        assert!(half > full / 2.0);
+        assert!(half < full);
+    }
+
+    #[test]
+    fn tabulated_profile_prefers_measurements() {
+        let mut t = TabulatedProfile::new(DeviceProfile::v100());
+        let l = Layer::conv2d("conv1", 3, 64, (224, 224), 7, 2, 3);
+        t.insert("conv1", 1.0, 2.0, 0.5);
+        assert_eq!(t.forward_time(&l), 1.0);
+        assert_eq!(t.backward_time(&l), 2.0);
+        assert_eq!(t.weight_update_time(&l), 0.5);
+        let other = Layer::conv2d("conv2", 64, 64, (56, 56), 3, 1, 1);
+        assert!(t.forward_time(&other) > 0.0);
+    }
+}

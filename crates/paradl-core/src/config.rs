@@ -1,0 +1,123 @@
+//! Training-run configuration: dataset size `D`, global mini-batch `B`,
+//! number of epochs `E`, datum width `δ` and the memory-reuse factor `γ`
+//! (paper Table 2 and §4.2).
+
+/// Configuration of one training run, shared by every strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingConfig {
+    /// Dataset size `D` (number of samples).
+    pub dataset_size: usize,
+    /// Global mini-batch size `B`. Under weak scaling this is
+    /// `samples_per_pe × p`.
+    pub batch_size: usize,
+    /// Number of epochs `E` (the oracle reports per-epoch times, so this only
+    /// matters for total-time queries).
+    pub epochs: usize,
+    /// Bytes per tensor element `δ` (4 for FP32, 2 for FP16).
+    pub bytes_per_item: f64,
+    /// Memory-reuse factor `γ ∈ (0, 1]` applied to the naive per-layer memory
+    /// aggregation to account for framework buffer reuse (§4.2).
+    pub memory_reuse: f64,
+}
+
+impl TrainingConfig {
+    /// ImageNet-scale defaults: D = 1.28 M samples, FP32, γ = 0.7.
+    pub fn imagenet(batch_size: usize) -> Self {
+        TrainingConfig {
+            dataset_size: 1_281_167,
+            batch_size,
+            epochs: 90,
+            bytes_per_item: 4.0,
+            memory_reuse: 0.7,
+        }
+    }
+
+    /// CosmoFlow-scale defaults: D = 1584 samples (paper Table 5), FP32.
+    pub fn cosmoflow(batch_size: usize) -> Self {
+        TrainingConfig {
+            dataset_size: 1584,
+            batch_size,
+            epochs: 50,
+            bytes_per_item: 4.0,
+            memory_reuse: 0.7,
+        }
+    }
+
+    /// A small configuration for unit tests and examples.
+    pub fn small(dataset_size: usize, batch_size: usize) -> Self {
+        TrainingConfig {
+            dataset_size,
+            batch_size,
+            epochs: 1,
+            bytes_per_item: 4.0,
+            memory_reuse: 1.0,
+        }
+    }
+
+    /// Number of iterations per epoch `I = D / B` (at least 1).
+    pub fn iterations_per_epoch(&self) -> usize {
+        (self.dataset_size / self.batch_size).max(1)
+    }
+
+    /// Weak-scaling variant: keeps `samples_per_pe` constant so that
+    /// `B = samples_per_pe × p` (the paper's de-facto scaling mode, §4.2).
+    pub fn weak_scaled(mut self, samples_per_pe: usize, p: usize) -> Self {
+        self.batch_size = samples_per_pe * p;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dataset_size == 0 {
+            return Err("dataset size must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        if self.batch_size > self.dataset_size {
+            return Err(format!(
+                "batch size {} exceeds dataset size {}",
+                self.batch_size, self.dataset_size
+            ));
+        }
+        if !(self.bytes_per_item > 0.0) {
+            return Err("bytes per item must be positive".into());
+        }
+        if !(self.memory_reuse > 0.0 && self.memory_reuse <= 1.0) {
+            return Err("memory reuse factor must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_per_epoch_is_d_over_b() {
+        let c = TrainingConfig::small(1000, 50);
+        assert_eq!(c.iterations_per_epoch(), 20);
+        let c2 = TrainingConfig::small(10, 16);
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn weak_scaling_grows_batch_with_pes() {
+        let c = TrainingConfig::imagenet(32).weak_scaled(32, 64);
+        assert_eq!(c.batch_size, 32 * 64);
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(TrainingConfig::small(100, 10).validate().is_ok());
+        let mut c = TrainingConfig::small(100, 10);
+        c.memory_reuse = 0.0;
+        assert!(c.validate().is_err());
+        c.memory_reuse = 1.5;
+        assert!(c.validate().is_err());
+        c.memory_reuse = 0.5;
+        c.bytes_per_item = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # paradl-core
+//!
+//! The ParaDL oracle: an analytical performance, communication and memory
+//! model for distributed CNN training under data, spatial, filter, channel,
+//! pipeline and hybrid parallelism — a Rust reproduction of
+//! *"An Oracle for Guiding Large-Scale Model/Hybrid Parallel Training of
+//! Convolutional Neural Networks"* (HPDC 2021).
+//!
+//! The crate is organized around four inputs and one output:
+//!
+//! * a [`model::Model`] — the CNN as a list of [`layer::Layer`]s,
+//! * a [`compute::ComputeModel`] — per-layer `FW`/`BW`/`WU` times (the
+//!   paper's empirical parametrization; [`compute::DeviceProfile`] provides
+//!   an analytical substitute),
+//! * a [`cluster::ClusterSpec`] — the interconnect hierarchy providing
+//!   Hockney α–β parameters per communicator size,
+//! * a [`config::TrainingConfig`] — dataset size `D`, mini-batch `B`, datum
+//!   width `δ`, memory-reuse factor `γ`,
+//!
+//! and the [`oracle::Oracle`] produces [`cost::CostEstimate`]s — per-phase
+//! time breakdowns and per-PE memory — for any [`strategy::Strategy`].
+//!
+//! ```
+//! use paradl_core::prelude::*;
+//!
+//! // A toy 3-layer CNN.
+//! let model = Model::new(
+//!     "toy", 3, vec![32, 32],
+//!     vec![
+//!         Layer::conv2d("c1", 3, 16, (32, 32), 3, 1, 1),
+//!         Layer::global_pool("g", 16, &[32, 32]),
+//!         Layer::fully_connected("fc", 16, 10),
+//!     ],
+//! );
+//! let device = DeviceProfile::v100();
+//! let cluster = ClusterSpec::paper_system();
+//! let config = TrainingConfig::small(4096, 64);
+//! let oracle = Oracle::new(&model, &device, &cluster, config);
+//!
+//! let projection = oracle.project(Strategy::Data { p: 16 });
+//! assert!(projection.cost.epoch_time() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod comm;
+pub mod compute;
+pub mod config;
+pub mod cost;
+pub mod layer;
+pub mod limits;
+pub mod memory;
+pub mod model;
+pub mod oracle;
+pub mod scaling;
+pub mod strategy;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::cluster::{ClusterSpec, CommLevel};
+    pub use crate::comm::{CollectiveAlgorithm, CommModel, LinkParams};
+    pub use crate::compute::{ComputeModel, DeviceProfile, TabulatedProfile};
+    pub use crate::config::TrainingConfig;
+    pub use crate::cost::{estimate, CostEstimate, PhaseBreakdown};
+    pub use crate::layer::{Layer, LayerKind};
+    pub use crate::limits::{diagnose_default, table6, Issue, IssueClass};
+    pub use crate::memory::{fits_in_memory, memory_per_pe, V100_MEMORY_BYTES};
+    pub use crate::model::Model;
+    pub use crate::oracle::{
+        breakdown_accuracy, projection_accuracy, Constraints, Oracle, Projection,
+    };
+    pub use crate::scaling::{powers_of_two, speedup_over, sweep, ScalingMode, SweepPoint};
+    pub use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
+}

@@ -1,0 +1,306 @@
+//! Limitation / bottleneck detection (paper §5.3 and Table 6).
+//!
+//! From a set of projections the oracle derives the qualitative summary the
+//! paper presents in Table 6: which parallel strategies are exposed to which
+//! limitation (inherent to the strategy) or bottleneck (caused by the
+//! framework or system), and in which training phase.
+
+use crate::cost::CostEstimate;
+use crate::memory::V100_MEMORY_BYTES;
+use crate::strategy::StrategyKind;
+use std::fmt;
+
+/// Whether an issue is a limitation inherent to the strategy (L) or a
+/// bottleneck caused by framework/system components (B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueClass {
+    /// Inherent limitation of the parallel strategy.
+    Limitation,
+    /// Bottleneck introduced by the framework or system.
+    Bottleneck,
+}
+
+/// Training phase affected by an issue (Table 6 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// I/O and pre-processing.
+    Io,
+    /// Forward and backward propagation.
+    ForwardBackward,
+    /// Gradient exchange.
+    GradientExchange,
+    /// Weight update.
+    WeightUpdate,
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Issue {
+    /// Category grouping (Communication, Memory Capacity, Computation, Scaling).
+    pub category: &'static str,
+    /// Limitation or bottleneck.
+    pub class: IssueClass,
+    /// Short remark matching the paper's Remarks column.
+    pub remark: &'static str,
+    /// Strategy families affected.
+    pub strategies: Vec<StrategyKind>,
+    /// Training phases affected.
+    pub phases: Vec<Phase>,
+    /// Whether the issue also appears in distributed inference.
+    pub appears_in_inference: bool,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let class = match self.class {
+            IssueClass::Limitation => "L",
+            IssueClass::Bottleneck => "B",
+        };
+        let strategies: Vec<String> =
+            self.strategies.iter().map(|s| s.to_string()).collect();
+        write!(
+            f,
+            "{:<14} {} {:<22} [{}]",
+            self.category,
+            class,
+            self.remark,
+            strategies.join(", ")
+        )
+    }
+}
+
+/// The static limitation/bottleneck matrix of Table 6.
+pub fn table6() -> Vec<Issue> {
+    use StrategyKind::*;
+    vec![
+        Issue {
+            category: "Communication",
+            class: IssueClass::Limitation,
+            remark: "Gradient-exchange",
+            strategies: vec![Data, Spatial, DataFilter, DataSpatial],
+            phases: vec![Phase::GradientExchange],
+            appears_in_inference: false,
+        },
+        Issue {
+            category: "Communication",
+            class: IssueClass::Limitation,
+            remark: "Layer-wise comm.",
+            strategies: vec![Filter, Channel, DataFilter],
+            phases: vec![Phase::ForwardBackward],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Communication",
+            class: IssueClass::Bottleneck,
+            remark: "P2P communication",
+            strategies: vec![Spatial, Pipeline, DataSpatial],
+            phases: vec![Phase::ForwardBackward, Phase::GradientExchange],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Communication",
+            class: IssueClass::Bottleneck,
+            remark: "Network congestion",
+            strategies: vec![Data, Spatial, Pipeline, Filter, Channel, DataFilter, DataSpatial],
+            phases: vec![Phase::ForwardBackward, Phase::GradientExchange],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Memory",
+            class: IssueClass::Bottleneck,
+            remark: "Memory redundancy",
+            strategies: vec![Data, Spatial, Pipeline, Filter, Channel, DataFilter, DataSpatial],
+            phases: vec![
+                Phase::Io,
+                Phase::ForwardBackward,
+                Phase::GradientExchange,
+                Phase::WeightUpdate,
+            ],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Memory",
+            class: IssueClass::Bottleneck,
+            remark: "Memory stalling",
+            strategies: vec![Data, Spatial, Pipeline, Filter, Channel, DataFilter, DataSpatial],
+            phases: vec![
+                Phase::Io,
+                Phase::ForwardBackward,
+                Phase::GradientExchange,
+                Phase::WeightUpdate,
+            ],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Computation",
+            class: IssueClass::Limitation,
+            remark: "Weight update",
+            strategies: vec![Data, Spatial, Pipeline, Filter, Channel, DataFilter, DataSpatial],
+            phases: vec![Phase::WeightUpdate],
+            appears_in_inference: false,
+        },
+        Issue {
+            category: "Computation",
+            class: IssueClass::Limitation,
+            remark: "Workload balancing",
+            strategies: vec![Pipeline],
+            phases: vec![Phase::ForwardBackward, Phase::WeightUpdate],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Computation",
+            class: IssueClass::Bottleneck,
+            remark: "Comp. redundancy",
+            strategies: vec![Filter, Channel, DataFilter],
+            phases: vec![Phase::ForwardBackward, Phase::WeightUpdate],
+            appears_in_inference: true,
+        },
+        Issue {
+            category: "Scaling",
+            class: IssueClass::Limitation,
+            remark: "Number of PEs",
+            strategies: vec![Data, Spatial, Pipeline, Filter, Channel, DataFilter, DataSpatial],
+            phases: vec![
+                Phase::Io,
+                Phase::ForwardBackward,
+                Phase::GradientExchange,
+                Phase::WeightUpdate,
+            ],
+            appears_in_inference: true,
+        },
+    ]
+}
+
+/// A quantitative diagnosis derived from a concrete projection: which issues
+/// are *active* (i.e. contribute a significant share of the projected time or
+/// exceed memory capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Detected active issues with the fraction of the epoch they account for
+    /// (or the memory overshoot ratio for memory issues).
+    pub findings: Vec<(String, f64)>,
+}
+
+/// Diagnoses a projection: flags communication phases that exceed
+/// `comm_threshold` of the epoch time, weight update above `wu_threshold` of
+/// compute, and memory above the capacity.
+pub fn diagnose(
+    estimate: &CostEstimate,
+    memory_capacity: f64,
+    comm_threshold: f64,
+    wu_threshold: f64,
+) -> Diagnosis {
+    let mut findings = Vec::new();
+    let total = estimate.per_epoch.total().max(f64::MIN_POSITIVE);
+    let b = &estimate.per_epoch;
+
+    let mut check = |name: &str, value: f64| {
+        let frac = value / total;
+        if frac > comm_threshold {
+            findings.push((name.to_string(), frac));
+        }
+    };
+    check("gradient-exchange communication", b.gradient_exchange);
+    check("layer-wise collective communication", b.fb_collective);
+    check("halo-exchange communication", b.halo_exchange);
+    check("pipeline P2P communication", b.pipeline_p2p);
+
+    let compute = b.compute().max(f64::MIN_POSITIVE);
+    if b.weight_update / compute > wu_threshold {
+        findings.push(("weight update share of compute".to_string(), b.weight_update / compute));
+    }
+
+    if estimate.memory_per_pe_bytes > memory_capacity {
+        findings.push((
+            "memory capacity exceeded".to_string(),
+            estimate.memory_per_pe_bytes / memory_capacity,
+        ));
+    }
+
+    Diagnosis { findings }
+}
+
+/// Convenience wrapper using the V100 capacity and the paper-ish thresholds
+/// (communication phases above 25% of the epoch, weight update above 10% of
+/// compute).
+pub fn diagnose_default(estimate: &CostEstimate) -> Diagnosis {
+    diagnose(estimate, V100_MEMORY_BYTES, 0.25, 0.10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::compute::DeviceProfile;
+    use crate::config::TrainingConfig;
+    use crate::cost::estimate;
+    use crate::layer::Layer;
+    use crate::model::Model;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn table6_has_ten_rows_like_the_paper() {
+        let rows = table6();
+        assert_eq!(rows.len(), 10);
+        // Network congestion and scaling affect every strategy.
+        let congestion = rows.iter().find(|r| r.remark == "Network congestion").unwrap();
+        assert_eq!(congestion.strategies.len(), 7);
+        // Workload balancing is pipeline-only.
+        let wb = rows.iter().find(|r| r.remark == "Workload balancing").unwrap();
+        assert_eq!(wb.strategies, vec![StrategyKind::Pipeline]);
+        // Gradient exchange does not appear in inference.
+        let ge = rows.iter().find(|r| r.remark == "Gradient-exchange").unwrap();
+        assert!(!ge.appears_in_inference);
+    }
+
+    #[test]
+    fn diagnose_flags_layerwise_comm_for_filter_parallelism() {
+        let model = Model::new(
+            "m",
+            3,
+            vec![64, 64],
+            vec![
+                Layer::conv2d("c1", 3, 64, (64, 64), 3, 1, 1),
+                Layer::conv2d("c2", 64, 64, (64, 64), 3, 1, 1),
+                Layer::global_pool("g", 64, &[64, 64]),
+                Layer::fully_connected("fc", 64, 10),
+            ],
+        );
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let est = estimate(&model, &device, &cluster, &cfg, Strategy::Filter { p: 32 });
+        let diag = diagnose_default(&est);
+        assert!(
+            diag.findings
+                .iter()
+                .any(|(name, _)| name.contains("layer-wise")),
+            "filter parallelism at scale should be flagged as comm-bound: {:?}",
+            diag.findings
+        );
+    }
+
+    #[test]
+    fn diagnose_flags_memory_overrun() {
+        let model = Model::new(
+            "m",
+            3,
+            vec![64, 64],
+            vec![Layer::conv2d("c1", 3, 64, (64, 64), 3, 1, 1)],
+        );
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let est = estimate(&model, &device, &cluster, &cfg, Strategy::Serial);
+        let diag = diagnose(&est, 1.0, 0.25, 0.10);
+        assert!(diag.findings.iter().any(|(n, _)| n.contains("memory")));
+    }
+
+    #[test]
+    fn issue_display_is_readable() {
+        let row = &table6()[0];
+        let s = row.to_string();
+        assert!(s.contains("Communication"));
+        assert!(s.contains("Gradient-exchange"));
+    }
+}

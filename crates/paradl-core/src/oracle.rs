@@ -1,0 +1,282 @@
+//! The ParaDL oracle front-end (paper §4.1, Figure 2).
+//!
+//! Given the model, the dataset/training configuration, the system
+//! specification and the user's constraints (maximum number of PEs, memory
+//! capacity), the oracle projects the performance of each parallel strategy,
+//! suggests the best one, and compares projections with measured results to
+//! compute the accuracy metric reported in §5.2.
+
+use crate::cluster::ClusterSpec;
+use crate::compute::ComputeModel;
+use crate::config::TrainingConfig;
+use crate::cost::{estimate, CostEstimate, PhaseBreakdown};
+use crate::memory;
+use crate::model::Model;
+use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
+
+/// User constraints for the strategy search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Maximum number of PEs the user is willing to provision.
+    pub max_pes: usize,
+    /// Per-PE memory capacity in bytes.
+    pub memory_capacity_bytes: f64,
+    /// Number of pipeline segments to assume when evaluating the pipeline
+    /// strategy.
+    pub pipeline_segments: usize,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            max_pes: 1024,
+            memory_capacity_bytes: memory::V100_MEMORY_BYTES,
+            pipeline_segments: 8,
+        }
+    }
+}
+
+/// The oracle: owns the problem description and answers projection queries.
+pub struct Oracle<'a, C: ComputeModel + ?Sized> {
+    /// The CNN model being trained.
+    pub model: &'a Model,
+    /// Per-layer compute-time source (empirical parametrization).
+    pub device: &'a C,
+    /// System specification.
+    pub cluster: &'a ClusterSpec,
+    /// Training configuration (D, B, δ, γ).
+    pub config: TrainingConfig,
+}
+
+/// A projection for one concrete strategy, with feasibility information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Cost estimate (time breakdown + memory).
+    pub cost: CostEstimate,
+    /// Whether the strategy fits the per-PE memory capacity.
+    pub fits_memory: bool,
+    /// Whether the strategy respects its scaling limit for this model/batch.
+    pub within_scaling_limit: bool,
+}
+
+impl Projection {
+    /// A strategy is feasible when it fits in memory and respects its scaling
+    /// limit.
+    pub fn feasible(&self) -> bool {
+        self.fits_memory && self.within_scaling_limit
+    }
+}
+
+impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
+    /// Creates an oracle for the given problem.
+    pub fn new(
+        model: &'a Model,
+        device: &'a C,
+        cluster: &'a ClusterSpec,
+        config: TrainingConfig,
+    ) -> Self {
+        Oracle { model, device, cluster, config }
+    }
+
+    /// Projects the cost of a single strategy.
+    pub fn project(&self, strategy: Strategy) -> Projection {
+        self.project_with(strategy, &self.config)
+    }
+
+    /// Projects the cost of a strategy under an explicit configuration
+    /// (useful for weak-scaling sweeps where `B` grows with `p`).
+    pub fn project_with(&self, strategy: Strategy, config: &TrainingConfig) -> Projection {
+        let cost = estimate(self.model, self.device, self.cluster, config, strategy);
+        let fits_memory = cost.memory_per_pe_bytes <= memory::V100_MEMORY_BYTES.max(0.0)
+            || cost.memory_per_pe_bytes <= f64::INFINITY;
+        // Feasibility against the *cluster device* capacity is checked by the
+        // caller through `Constraints`; here we only record scaling validity.
+        let within_scaling_limit = strategy.validate(self.model, config.batch_size).is_ok();
+        Projection { cost, fits_memory, within_scaling_limit }
+    }
+
+    /// Builds a concrete strategy of the given kind using `p` PEs, choosing
+    /// balanced splits for the composite strategies. Hybrid strategies place
+    /// the model-parallel dimension inside a node (`gpus_per_node` PEs per
+    /// group) as the paper's implementation does (§4.5.1).
+    pub fn instantiate(&self, kind: StrategyKind, p: usize, segments: usize) -> Strategy {
+        let per_node = self.cluster.gpus_per_node.max(1);
+        match kind {
+            StrategyKind::Serial => Strategy::Serial,
+            StrategyKind::Data => Strategy::Data { p },
+            StrategyKind::Spatial => {
+                if self.model.input_spatial.len() >= 3 {
+                    Strategy::Spatial { split: SpatialSplit::balanced_3d(p) }
+                } else {
+                    Strategy::Spatial { split: SpatialSplit::balanced_2d(p) }
+                }
+            }
+            StrategyKind::Filter => Strategy::Filter { p },
+            StrategyKind::Channel => Strategy::Channel { p },
+            StrategyKind::Pipeline => Strategy::Pipeline { p, segments },
+            StrategyKind::DataFilter => {
+                let p2 = per_node.min(p);
+                Strategy::DataFilter { p1: (p / p2).max(1), p2 }
+            }
+            StrategyKind::DataSpatial => {
+                let p2 = per_node.min(p);
+                let split = if self.model.input_spatial.len() >= 3 {
+                    SpatialSplit::balanced_3d(p2)
+                } else {
+                    SpatialSplit::balanced_2d(p2)
+                };
+                Strategy::DataSpatial { p1: (p / p2).max(1), split }
+            }
+        }
+    }
+
+    /// Projects every evaluated strategy family at `p` PEs and returns the
+    /// projections (infeasible strategies are included and flagged).
+    pub fn survey(&self, p: usize, constraints: &Constraints) -> Vec<Projection> {
+        StrategyKind::EVALUATED
+            .iter()
+            .map(|&kind| {
+                let s = self.instantiate(kind, p, constraints.pipeline_segments);
+                let mut proj = self.project(s);
+                proj.fits_memory =
+                    proj.cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes;
+                proj
+            })
+            .collect()
+    }
+
+    /// Suggests the best feasible strategy within the constraints: the one
+    /// with the smallest projected epoch time among those that fit memory and
+    /// scaling limits (paper §4.1, first bullet).
+    pub fn suggest(&self, constraints: &Constraints) -> Option<Projection> {
+        let mut best: Option<Projection> = None;
+        for &kind in &StrategyKind::EVALUATED {
+            let max_p =
+                Strategy::max_pes(self.model, self.config.batch_size, kind).min(constraints.max_pes);
+            // Evaluate at powers of two up to the limit (the paper's sweep).
+            let mut p = 1usize;
+            while p <= max_p {
+                let s = self.instantiate(kind, p, constraints.pipeline_segments);
+                let mut proj = self.project(s);
+                proj.fits_memory =
+                    proj.cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes;
+                if proj.feasible() {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => proj.cost.epoch_time() < b.cost.epoch_time(),
+                    };
+                    if better {
+                        best = Some(proj);
+                    }
+                }
+                if p == max_p {
+                    break;
+                }
+                p = (p * 2).min(max_p);
+            }
+        }
+        best
+    }
+}
+
+/// Accuracy of a projection against a measured value, as defined in §5.2:
+/// `1 − |projected − measured| / measured`, clamped at 0.
+pub fn projection_accuracy(projected: f64, measured: f64) -> f64 {
+    if measured <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - (projected - measured).abs() / measured).max(0.0)
+}
+
+/// Accuracy of a full phase breakdown against a measured breakdown, using the
+/// total times (the paper's per-column accuracy labels in Figure 3).
+pub fn breakdown_accuracy(projected: &PhaseBreakdown, measured: &PhaseBreakdown) -> f64 {
+    projection_accuracy(projected.total(), measured.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::DeviceProfile;
+    use crate::layer::Layer;
+
+    fn model() -> Model {
+        Model::new(
+            "m",
+            3,
+            vec![32, 32],
+            vec![
+                Layer::conv2d("c1", 3, 64, (32, 32), 3, 1, 1),
+                Layer::pool2d("p1", 64, (32, 32), 2, 2),
+                Layer::conv2d("c2", 64, 128, (16, 16), 3, 1, 1),
+                Layer::global_pool("g", 128, &[16, 16]),
+                Layer::fully_connected("fc", 128, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn accuracy_metric_matches_paper_definition() {
+        assert!((projection_accuracy(90.0, 100.0) - 0.9).abs() < 1e-12);
+        assert!((projection_accuracy(110.0, 100.0) - 0.9).abs() < 1e-12);
+        assert_eq!(projection_accuracy(300.0, 100.0), 0.0);
+        assert_eq!(projection_accuracy(1.0, 0.0), 0.0);
+        assert!((projection_accuracy(100.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survey_covers_all_evaluated_strategies() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &c, cfg);
+        let survey = oracle.survey(16, &Constraints::default());
+        assert_eq!(survey.len(), StrategyKind::EVALUATED.len());
+        for proj in &survey {
+            assert!(proj.cost.epoch_time().is_finite());
+        }
+    }
+
+    #[test]
+    fn suggest_returns_a_feasible_strategy() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &c, cfg);
+        let best = oracle.suggest(&Constraints::default()).expect("some strategy feasible");
+        assert!(best.feasible());
+        assert!(best.cost.epoch_time() > 0.0);
+        // With plenty of memory and a compute-bound model, data parallelism at
+        // the largest feasible scale should win.
+        assert_eq!(best.cost.strategy.kind(), StrategyKind::Data);
+    }
+
+    #[test]
+    fn instantiate_hybrids_use_node_sized_groups() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &c, cfg);
+        match oracle.instantiate(StrategyKind::DataFilter, 64, 8) {
+            Strategy::DataFilter { p1, p2 } => {
+                assert_eq!(p2, c.gpus_per_node);
+                assert_eq!(p1 * p2, 64);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn constraint_on_memory_rules_out_strategies() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 256);
+        let oracle = Oracle::new(&m, &d, &c, cfg);
+        let tight = Constraints { memory_capacity_bytes: 1.0, ..Default::default() };
+        assert!(oracle.suggest(&tight).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! # paradl-data
+//!
+//! Synthetic dataset substrate. The paper trains on ImageNet (1.28 M samples
+//! of 3×226²) and CosmoFlow (1584 samples of 4×256³); neither the oracle nor
+//! the simulator depends on pixel values — only on sample *shapes* and
+//! counts — so this crate provides shape-correct synthetic generators, batch
+//! iterators and the weak/strong scaling batch policies used in the paper's
+//! sweeps.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use paradl_core::config::TrainingConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Description of a dataset: how many samples it holds and their shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of samples `D`.
+    pub samples: usize,
+    /// Channels per sample.
+    pub channels: usize,
+    /// Spatial extents per sample.
+    pub spatial: Vec<usize>,
+    /// Number of label classes (0 for regression datasets).
+    pub classes: usize,
+}
+
+impl DatasetSpec {
+    /// ImageNet-1k as used in the paper (Table 5): 1.28 M samples of 3×226².
+    pub fn imagenet() -> Self {
+        DatasetSpec {
+            name: "ImageNet".into(),
+            samples: 1_281_167,
+            channels: 3,
+            spatial: vec![226, 226],
+            classes: 1000,
+        }
+    }
+
+    /// CosmoFlow (Table 5): 1584 samples of 4×256³, 4 regression targets.
+    pub fn cosmoflow() -> Self {
+        DatasetSpec {
+            name: "CosmoFlow".into(),
+            samples: 1584,
+            channels: 4,
+            spatial: vec![256, 256, 256],
+            classes: 0,
+        }
+    }
+
+    /// A tiny dataset for unit tests and examples.
+    pub fn tiny(samples: usize, side: usize, classes: usize) -> Self {
+        DatasetSpec {
+            name: "Tiny".into(),
+            samples,
+            channels: 3,
+            spatial: vec![side, side],
+            classes,
+        }
+    }
+
+    /// Elements per sample (`channels × Π spatial`).
+    pub fn sample_elements(&self) -> usize {
+        self.channels * self.spatial.iter().product::<usize>()
+    }
+
+    /// Sample size in bytes at `bytes_per_item` precision.
+    pub fn sample_bytes(&self, bytes_per_item: f64) -> f64 {
+        self.sample_elements() as f64 * bytes_per_item
+    }
+
+    /// A [`TrainingConfig`] for this dataset with the given global batch.
+    pub fn training_config(&self, batch_size: usize) -> TrainingConfig {
+        TrainingConfig {
+            dataset_size: self.samples,
+            batch_size,
+            epochs: 1,
+            bytes_per_item: 4.0,
+            memory_reuse: 0.7,
+        }
+    }
+}
+
+/// One synthetic labelled sample: flattened row-major values plus a label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Row-major `channels × spatial` values.
+    pub values: Vec<f32>,
+    /// Class label (0 when the dataset is a regression task).
+    pub label: usize,
+}
+
+/// A deterministic synthetic sample generator: sample `i` is always the same
+/// values for the same spec and seed, so distributed readers can shard the
+/// dataset without exchanging data.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The dataset description.
+    pub spec: DatasetSpec,
+    seed: u64,
+}
+
+impl SyntheticDataset {
+    /// Creates a generator for `spec` with the given seed.
+    pub fn new(spec: DatasetSpec, seed: u64) -> Self {
+        SyntheticDataset { spec, seed }
+    }
+
+    /// Generates sample `index` (must be `< spec.samples`).
+    pub fn sample(&self, index: usize) -> Sample {
+        assert!(index < self.spec.samples, "sample index out of range");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let n = self.spec.sample_elements();
+        let values = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let label = if self.spec.classes > 0 { rng.gen_range(0..self.spec.classes) } else { 0 };
+        Sample { values, label }
+    }
+
+    /// Iterates mini-batches of `batch` sample indices for one epoch, in
+    /// shuffled order (seeded by `epoch` so every PE draws the same order).
+    pub fn epoch_batches(&self, batch: usize, epoch: u64) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.spec.samples).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(epoch));
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order.chunks(batch).map(|c| c.to_vec()).collect()
+    }
+
+    /// The shard of a batch owned by `rank` among `world` data-parallel PEs
+    /// (contiguous split of the batch, as the paper's micro-batch `B' = B/p`).
+    pub fn shard<'a>(batch: &'a [usize], rank: usize, world: usize) -> &'a [usize] {
+        assert!(rank < world, "rank out of range");
+        let per = batch.len() / world;
+        let start = rank * per;
+        let end = if rank + 1 == world { batch.len() } else { start + per };
+        &batch[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table5() {
+        let i = DatasetSpec::imagenet();
+        assert_eq!(i.samples, 1_281_167);
+        assert_eq!(i.sample_elements(), 3 * 226 * 226);
+        let c = DatasetSpec::cosmoflow();
+        assert_eq!(c.samples, 1584);
+        assert_eq!(c.sample_elements(), 4 * 256 * 256 * 256);
+        // One FP32 CosmoFlow sample is exactly 256 MiB.
+        assert_eq!(c.sample_bytes(4.0), 256.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_index() {
+        let ds = SyntheticDataset::new(DatasetSpec::tiny(100, 8, 10), 7);
+        let a = ds.sample(3);
+        let b = ds.sample(3);
+        assert_eq!(a, b);
+        let c = ds.sample(4);
+        assert_ne!(a.values, c.values);
+        assert_eq!(a.values.len(), 3 * 8 * 8);
+        assert!(a.label < 10);
+    }
+
+    #[test]
+    fn epoch_batches_cover_the_dataset_exactly_once() {
+        let ds = SyntheticDataset::new(DatasetSpec::tiny(97, 4, 3), 1);
+        let batches = ds.epoch_batches(10, 0);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..97).collect::<Vec<_>>());
+        // Shuffle differs between epochs.
+        let other = ds.epoch_batches(10, 1);
+        assert_ne!(batches[0], other[0]);
+    }
+
+    #[test]
+    fn sharding_partitions_a_batch() {
+        let batch: Vec<usize> = (0..16).collect();
+        let mut seen = Vec::new();
+        for rank in 0..4 {
+            seen.extend_from_slice(SyntheticDataset::shard(&batch, rank, 4));
+        }
+        assert_eq!(seen, batch);
+        // Remainder goes to the last rank.
+        let odd: Vec<usize> = (0..10).collect();
+        assert_eq!(SyntheticDataset::shard(&odd, 3, 4).len(), 4);
+    }
+
+    #[test]
+    fn training_config_uses_dataset_size() {
+        let cfg = DatasetSpec::imagenet().training_config(1024);
+        assert_eq!(cfg.dataset_size, 1_281_167);
+        assert_eq!(cfg.iterations_per_epoch(), 1_281_167 / 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sample_index_is_bounds_checked() {
+        let ds = SyntheticDataset::new(DatasetSpec::tiny(5, 4, 2), 0);
+        let _ = ds.sample(5);
+    }
+}

@@ -1,0 +1,128 @@
+//! CosmoFlow (Mathuriya et al., SC'18): a 3-D CNN regressing cosmological
+//! parameters from 4-channel volumetric dark-matter density histograms.
+//!
+//! The paper (Table 5) uses the 4 × 256³ dataset variant with ≈2 M parameters
+//! and ~20 layers; §5.3.2 notes the first convolution produces >10 GB of
+//! activations for 4 × 512³ samples, which is why only the Data+Spatial
+//! hybrid is feasible at that scale.
+
+use paradl_core::layer::Layer;
+use paradl_core::model::Model;
+
+/// Builds CosmoFlow for a cubic input of `side³` voxels with 4 channels.
+/// `side` is typically 128, 256 or 512.
+pub fn cosmoflow_with_input(side: usize) -> Model {
+    let mut layers = Vec::new();
+    let mut s = side;
+    let mut in_ch = 4usize;
+    // Conv(3³) + leaky-ReLU + max-pool(2³) stages with channel widths
+    // 16, 32, 64, 128, 256 (the published architecture), repeating the final
+    // 256-wide stage until the volume is reduced to 4³ so the flattened
+    // feature vector — and therefore the parameter count (≈2 M, Table 5) —
+    // stays independent of the input resolution.
+    let base_widths = [16usize, 32, 64, 128, 256];
+    let mut i = 0usize;
+    while s > 4 {
+        let out_ch = *base_widths.get(i).unwrap_or(&256);
+        layers.push(Layer::conv3d(
+            format!("conv{}", i + 1),
+            in_ch,
+            out_ch,
+            (s, s, s),
+            3,
+            1,
+            1,
+        ));
+        layers.push(Layer::relu(format!("lrelu{}", i + 1), out_ch, &[s, s, s]));
+        layers.push(Layer::pool3d(format!("pool{}", i + 1), out_ch, (s, s, s), 2, 2));
+        s /= 2;
+        in_ch = out_ch;
+        i += 1;
+    }
+    // Flatten and regress through three FC layers to 4 target parameters.
+    let flat = in_ch * s * s * s;
+    layers.push(Layer::fully_connected("fc1", flat, 128));
+    layers.push(Layer::relu("fc1_relu", 128, &[1]));
+    layers.push(Layer::fully_connected("fc2", 128, 64));
+    layers.push(Layer::relu("fc2_relu", 64, &[1]));
+    layers.push(Layer::fully_connected("fc3", 64, 4));
+
+    Model::new(format!("CosmoFlow-{side}"), 4, vec![side, side, side], layers)
+}
+
+/// CosmoFlow at the paper's 256³ evaluation size.
+pub fn cosmoflow() -> Model {
+    cosmoflow_with_input(256)
+}
+
+/// CosmoFlow at the 128³ size (fits single-GPU memory; used for the
+/// layer-time calibration the paper describes in §5.1).
+pub fn cosmoflow_small() -> Model {
+    cosmoflow_with_input(128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradl_core::layer::LayerKind;
+    use paradl_core::prelude::*;
+
+    #[test]
+    fn parameter_count_is_a_few_million() {
+        // Paper Table 5 lists ≈2 M parameters.
+        let m = cosmoflow();
+        let p = m.total_params();
+        assert!((1_000_000..6_000_000).contains(&p), "CosmoFlow params = {p}");
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn about_twenty_layers() {
+        let m = cosmoflow();
+        assert!((18..=26).contains(&m.num_layers()), "layers = {}", m.num_layers());
+    }
+
+    #[test]
+    fn input_is_3d_4_channel() {
+        let m = cosmoflow();
+        assert_eq!(m.input_channels, 4);
+        assert_eq!(m.input_spatial.len(), 3);
+        let first = &m.layers[0];
+        assert_eq!(first.kind, LayerKind::Conv);
+        assert_eq!(first.spatial_dims(), 3);
+    }
+
+    #[test]
+    fn first_conv_activation_is_gigabytes_at_512() {
+        // Paper §5.3.2: the first conv layer generates on the order of 10 GB
+        // of activation for a 4×512³ input sample.
+        let m = cosmoflow_with_input(512);
+        let first = &m.layers[0];
+        let bytes = first.output_size() as f64 * 4.0;
+        assert!(bytes > 5.0e9, "activation = {bytes} bytes");
+    }
+
+    #[test]
+    fn data_parallel_memory_exceeds_v100_at_512() {
+        // The motivation for spatial parallelism: even one 512³ sample per
+        // GPU blows the 16 GB V100 memory, while spatial splitting fits.
+        let m = cosmoflow_with_input(512);
+        let cfg = TrainingConfig { memory_reuse: 0.7, ..TrainingConfig::cosmoflow(4) };
+        let data = memory_per_pe(&m, &cfg, Strategy::Data { p: 4 });
+        assert!(data > V100_MEMORY_BYTES);
+        let spatial = memory_per_pe(
+            &m,
+            &cfg,
+            Strategy::Spatial { split: SpatialSplit::balanced_3d(64) },
+        );
+        assert!(spatial < data);
+    }
+
+    #[test]
+    fn activations_dominate_weights() {
+        // CosmoFlow is activation-heavy (large 3-D volumes, tiny weight count),
+        // the opposite of VGG16.
+        let m = cosmoflow();
+        assert!(m.total_activations() > 50 * m.total_params());
+    }
+}

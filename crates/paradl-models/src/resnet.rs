@@ -1,0 +1,193 @@
+//! ResNet-50 and ResNet-152 (He et al., 2016) for 224×224 ImageNet-like
+//! inputs, built from bottleneck blocks (1×1 reduce, 3×3, 1×1 expand) with
+//! batch-normalization and ReLU after every convolution and a residual `Add`
+//! at the end of each block.
+
+use paradl_core::layer::Layer;
+use paradl_core::model::Model;
+
+/// Stage configuration: number of bottleneck blocks per stage.
+#[derive(Debug, Clone, Copy)]
+struct ResNetConfig {
+    name: &'static str,
+    blocks: [usize; 4],
+}
+
+const RESNET50: ResNetConfig = ResNetConfig { name: "ResNet-50", blocks: [3, 4, 6, 3] };
+const RESNET152: ResNetConfig = ResNetConfig { name: "ResNet-152", blocks: [3, 8, 36, 3] };
+
+fn bottleneck(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    in_ch: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    hw: usize,
+    stride: usize,
+) -> usize {
+    let out_hw = if stride == 1 { hw } else { hw / stride };
+    // 1x1 reduce
+    layers.push(Layer::conv2d(format!("{prefix}_conv1"), in_ch, mid_ch, (hw, hw), 1, 1, 0));
+    layers.push(Layer::batch_norm(format!("{prefix}_bn1"), mid_ch, &[hw, hw]));
+    layers.push(Layer::relu(format!("{prefix}_relu1"), mid_ch, &[hw, hw]));
+    // 3x3 (stride may reduce spatial size)
+    layers.push(Layer::conv2d(
+        format!("{prefix}_conv2"),
+        mid_ch,
+        mid_ch,
+        (hw, hw),
+        3,
+        stride,
+        1,
+    ));
+    layers.push(Layer::batch_norm(format!("{prefix}_bn2"), mid_ch, &[out_hw, out_hw]));
+    layers.push(Layer::relu(format!("{prefix}_relu2"), mid_ch, &[out_hw, out_hw]));
+    // 1x1 expand
+    layers.push(Layer::conv2d(
+        format!("{prefix}_conv3"),
+        mid_ch,
+        out_ch,
+        (out_hw, out_hw),
+        1,
+        1,
+        0,
+    ));
+    layers.push(Layer::batch_norm(format!("{prefix}_bn3"), out_ch, &[out_hw, out_hw]));
+    // Projection shortcut when the shape changes.
+    if in_ch != out_ch || stride != 1 {
+        layers.push(Layer::conv2d(
+            format!("{prefix}_downsample"),
+            in_ch,
+            out_ch,
+            (hw, hw),
+            1,
+            stride,
+            0,
+        ));
+        layers.push(Layer::batch_norm(
+            format!("{prefix}_downsample_bn"),
+            out_ch,
+            &[out_hw, out_hw],
+        ));
+    }
+    layers.push(Layer::add(format!("{prefix}_add"), out_ch, &[out_hw, out_hw]));
+    layers.push(Layer::relu(format!("{prefix}_relu3"), out_ch, &[out_hw, out_hw]));
+    out_hw
+}
+
+fn build(config: ResNetConfig, side: usize) -> Model {
+    let mut layers = Vec::new();
+    let mut hw = side;
+    // Stem: 7x7/2 conv, BN, ReLU, 3x3/2 max-pool.
+    layers.push(Layer::conv2d("conv1", 3, 64, (hw, hw), 7, 2, 3));
+    hw = (hw + 2 * 3 - 7) / 2 + 1;
+    layers.push(Layer::batch_norm("bn1", 64, &[hw, hw]));
+    layers.push(Layer::relu("relu1", 64, &[hw, hw]));
+    layers.push(Layer::pool2d("maxpool", 64, (hw, hw), 2, 2));
+    hw /= 2;
+
+    let mut in_ch = 64usize;
+    let stage_mid = [64usize, 128, 256, 512];
+    for (si, &nblocks) in config.blocks.iter().enumerate() {
+        let mid = stage_mid[si];
+        let out = mid * 4;
+        for b in 0..nblocks {
+            let stride = if b == 0 && si > 0 { 2 } else { 1 };
+            hw = bottleneck(
+                &mut layers,
+                &format!("layer{}_{}", si + 1, b),
+                in_ch,
+                mid,
+                out,
+                hw,
+                stride,
+            );
+            in_ch = out;
+        }
+    }
+    layers.push(Layer::global_pool("avgpool", in_ch, &[hw, hw]));
+    layers.push(Layer::fully_connected("fc", in_ch, 1000));
+    Model::new(config.name, 3, vec![side, side], layers)
+}
+
+/// ResNet-50 at the standard 224×224 resolution (≈25.6 M parameters).
+pub fn resnet50() -> Model {
+    build(RESNET50, 224)
+}
+
+/// ResNet-152 at the standard 224×224 resolution (≈60 M parameters).
+pub fn resnet152() -> Model {
+    build(RESNET152, 224)
+}
+
+/// ResNet-50 at a custom input resolution (the paper uses 226²; the exact
+/// value only shifts activation sizes slightly).
+pub fn resnet50_with_input(side: usize) -> Model {
+    build(RESNET50, side)
+}
+
+/// ResNet-152 at a custom input resolution.
+pub fn resnet152_with_input(side: usize) -> Model {
+    build(RESNET152, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradl_core::layer::LayerKind;
+
+    #[test]
+    fn resnet50_parameter_count_is_about_25m() {
+        let m = resnet50();
+        let p = m.total_params();
+        assert!((24_000_000..28_000_000).contains(&p), "ResNet-50 params = {p}");
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn resnet152_parameter_count_is_about_60m() {
+        let m = resnet152();
+        let p = m.total_params();
+        assert!((55_000_000..65_000_000).contains(&p), "ResNet-152 params = {p}");
+    }
+
+    #[test]
+    fn resnet50_has_53_convolutions() {
+        // 1 stem + 16 blocks × 3 + 4 downsample projections = 53.
+        let m = resnet50();
+        let convs = m.layers.iter().filter(|l| l.kind == LayerKind::Conv).count();
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn resnet152_is_deeper_than_resnet50() {
+        assert!(resnet152().num_layers() > 3 * resnet50().num_layers() / 2);
+        assert!(resnet152().total_flops_forward() > 2 * resnet50().total_flops_forward());
+    }
+
+    #[test]
+    fn min_filters_is_64() {
+        // Paper §5.3.4: filter parallelism of ResNet-50 is limited to 64.
+        assert_eq!(resnet50().min_filters(), 64);
+        assert_eq!(resnet152().min_filters(), 64);
+    }
+
+    #[test]
+    fn final_spatial_size_is_7x7() {
+        let m = resnet50();
+        let gpool = m
+            .layers
+            .iter()
+            .find(|l| l.kind == LayerKind::GlobalPool)
+            .unwrap();
+        assert_eq!(gpool.in_spatial, vec![7, 7]);
+    }
+
+    #[test]
+    fn resnet50_flops_are_in_the_published_ballpark() {
+        // ~4.1 GFLOPs (MAC-counted ×2) for a 224² forward pass.
+        let m = resnet50();
+        let gflops = m.total_flops_forward() as f64 / 1e9;
+        assert!((6.0..12.0).contains(&gflops), "forward GFLOPs = {gflops}");
+    }
+}

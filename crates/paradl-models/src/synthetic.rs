@@ -1,0 +1,168 @@
+//! Configurable synthetic CNNs for tests, examples and ablation benches:
+//! a parameterized conv/pool pyramid whose size, depth and channel widths can
+//! be dialed to produce activation-heavy or weight-heavy models on demand.
+
+use paradl_core::layer::Layer;
+use paradl_core::model::Model;
+
+/// Builder for a synthetic 2-D CNN.
+#[derive(Debug, Clone)]
+pub struct SyntheticCnn {
+    /// Input spatial side length.
+    pub input_side: usize,
+    /// Input channels.
+    pub input_channels: usize,
+    /// Channel width of the first stage; each stage doubles it.
+    pub base_channels: usize,
+    /// Number of conv/pool stages.
+    pub stages: usize,
+    /// Convolutions per stage.
+    pub convs_per_stage: usize,
+    /// Whether to append batch-norm after every convolution.
+    pub batch_norm: bool,
+    /// Hidden width of the fully-connected head (0 disables the hidden FC).
+    pub fc_hidden: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Default for SyntheticCnn {
+    fn default() -> Self {
+        SyntheticCnn {
+            input_side: 64,
+            input_channels: 3,
+            base_channels: 32,
+            stages: 3,
+            convs_per_stage: 2,
+            batch_norm: false,
+            fc_hidden: 256,
+            classes: 10,
+        }
+    }
+}
+
+impl SyntheticCnn {
+    /// A small model suitable for fast unit tests.
+    pub fn tiny() -> Self {
+        SyntheticCnn {
+            input_side: 32,
+            base_channels: 8,
+            stages: 2,
+            convs_per_stage: 1,
+            fc_hidden: 0,
+            ..Default::default()
+        }
+    }
+
+    /// A weight-heavy model (large FC head) exercising the gradient-exchange
+    /// bottleneck.
+    pub fn weight_heavy() -> Self {
+        SyntheticCnn { fc_hidden: 4096, classes: 1000, ..Default::default() }
+    }
+
+    /// An activation-heavy model (large input, few channels) exercising the
+    /// memory-capacity and spatial-parallelism paths.
+    pub fn activation_heavy() -> Self {
+        SyntheticCnn {
+            input_side: 512,
+            base_channels: 16,
+            stages: 2,
+            convs_per_stage: 1,
+            fc_hidden: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the model.
+    pub fn build(&self) -> Model {
+        let mut layers = Vec::new();
+        let mut hw = self.input_side;
+        let mut in_ch = self.input_channels;
+        for s in 0..self.stages {
+            let out_ch = self.base_channels << s;
+            for c in 0..self.convs_per_stage {
+                layers.push(Layer::conv2d(
+                    format!("s{s}_conv{c}"),
+                    in_ch,
+                    out_ch,
+                    (hw, hw),
+                    3,
+                    1,
+                    1,
+                ));
+                if self.batch_norm {
+                    layers.push(Layer::batch_norm(format!("s{s}_bn{c}"), out_ch, &[hw, hw]));
+                }
+                layers.push(Layer::relu(format!("s{s}_relu{c}"), out_ch, &[hw, hw]));
+                in_ch = out_ch;
+            }
+            if hw >= 2 {
+                layers.push(Layer::pool2d(format!("s{s}_pool"), in_ch, (hw, hw), 2, 2));
+                hw /= 2;
+            }
+        }
+        layers.push(Layer::global_pool("gpool", in_ch, &[hw, hw]));
+        let mut feat = in_ch;
+        if self.fc_hidden > 0 {
+            layers.push(Layer::fully_connected("fc_hidden", feat, self.fc_hidden));
+            layers.push(Layer::relu("fc_hidden_relu", self.fc_hidden, &[1]));
+            feat = self.fc_hidden;
+        }
+        layers.push(Layer::fully_connected("fc_out", feat, self.classes));
+        Model::new(
+            format!(
+                "Synthetic({}x{}x{},{} stages)",
+                self.input_channels, self.input_side, self.input_side, self.stages
+            ),
+            self.input_channels,
+            vec![self.input_side, self.input_side],
+            layers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradl_core::layer::LayerKind;
+
+    #[test]
+    fn default_build_is_valid() {
+        let m = SyntheticCnn::default().build();
+        assert!(m.validate().is_ok());
+        assert!(m.total_params() > 0);
+    }
+
+    #[test]
+    fn stages_control_depth() {
+        let shallow = SyntheticCnn { stages: 1, ..Default::default() }.build();
+        let deep = SyntheticCnn { stages: 4, ..Default::default() }.build();
+        assert!(deep.num_layers() > shallow.num_layers());
+        assert!(deep.total_params() > shallow.total_params());
+    }
+
+    #[test]
+    fn batch_norm_flag_adds_bn_layers() {
+        let without = SyntheticCnn::default().build();
+        let with = SyntheticCnn { batch_norm: true, ..Default::default() }.build();
+        let bn = with.layers.iter().filter(|l| l.kind == LayerKind::BatchNorm).count();
+        assert!(bn > 0);
+        assert!(without.layers.iter().all(|l| l.kind != LayerKind::BatchNorm));
+    }
+
+    #[test]
+    fn weight_heavy_vs_activation_heavy() {
+        let wh = SyntheticCnn::weight_heavy().build();
+        let ah = SyntheticCnn::activation_heavy().build();
+        let wh_ratio = wh.total_params() as f64 / wh.total_activations() as f64;
+        let ah_ratio = ah.total_params() as f64 / ah.total_activations() as f64;
+        assert!(wh_ratio > 10.0 * ah_ratio);
+    }
+
+    #[test]
+    fn tiny_model_is_small() {
+        let m = SyntheticCnn::tiny().build();
+        assert!(m.total_params() < 100_000);
+        assert!(m.num_layers() < 12);
+    }
+}

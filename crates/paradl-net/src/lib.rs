@@ -1,0 +1,59 @@
+//! # paradl-net
+//!
+//! Network substrate for the ParaDL simulator: a link-level fat-tree
+//! [`topology::FatTree`] matching the paper's evaluation system, step-by-step
+//! [`collectives`] schedules (ring Allreduce/Allgather/Reduce-Scatter, tree
+//! broadcast, hierarchical and segmented Allreduce, halo exchange), and the
+//! dynamic [`contention`] accounting that slows concurrent flows sharing a
+//! link — the mechanism behind both the self-contention of hybrid strategies
+//! and external network congestion.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collectives;
+pub mod contention;
+pub mod topology;
+
+pub use collectives::{
+    flat_reduce_to_root, halo_exchange, hierarchical_allreduce, merge_concurrent,
+    ring_allgather, ring_allreduce, ring_reduce_scatter, segmented_allreduce, tree_broadcast,
+    Schedule, Transfer,
+};
+pub use contention::{link_loads, max_contention, schedule_time, step_time};
+pub use topology::{Direction, FatTree, LinkId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradl_core::comm::{CollectiveAlgorithm, CommModel};
+
+    /// The link-level schedule time and the analytical Hockney formula must
+    /// agree (same α, β, ring algorithm, no contention) — this cross-checks
+    /// the two halves of the reproduction against each other.
+    #[test]
+    fn simulated_ring_allreduce_matches_analytical_model() {
+        let topo = FatTree::single_node(8);
+        let ranks: Vec<usize> = (0..8).collect();
+        let bytes = 64.0 * 1024.0 * 1024.0;
+        let simulated = schedule_time(&topo, &ring_allreduce(&ranks, bytes));
+        let analytic = CommModel::new(topo.intra_node)
+            .with_algorithm(CollectiveAlgorithm::Ring)
+            .allreduce(8, bytes);
+        let rel = (simulated - analytic).abs() / analytic;
+        assert!(rel < 0.05, "simulated={simulated} analytic={analytic}");
+    }
+
+    #[test]
+    fn allgather_matches_analytical_model_too() {
+        let topo = FatTree::single_node(4);
+        let ranks: Vec<usize> = (0..4).collect();
+        let bytes = 16.0 * 1024.0 * 1024.0;
+        let simulated = schedule_time(&topo, &ring_allgather(&ranks, bytes));
+        let analytic = CommModel::new(topo.intra_node)
+            .with_algorithm(CollectiveAlgorithm::Ring)
+            .allgather(4, bytes);
+        let rel = (simulated - analytic).abs() / analytic;
+        assert!(rel < 0.05, "simulated={simulated} analytic={analytic}");
+    }
+}

@@ -1,0 +1,271 @@
+//! A thread-based communicator playing the role NCCL/MPI play in the paper's
+//! implementation: every parallel worker owns a [`Communicator`] handle and
+//! the collectives (Allreduce, Allgather, broadcast, point-to-point
+//! send/receive) are built on crossbeam channels. The decompositions in
+//! [`crate::strategies`] use these primitives exactly where the paper's
+//! formulations place them.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use paradl_tensor::Tensor;
+use std::sync::Arc;
+
+/// One message exchanged between workers.
+#[derive(Debug, Clone)]
+enum Message {
+    /// A tensor payload.
+    Tensor { tensor: Tensor },
+}
+
+/// A fully connected mesh of channels between `world` workers.
+#[derive(Debug)]
+pub struct CommWorld {
+    senders: Vec<Vec<Sender<Message>>>,
+    receivers: Vec<Vec<Receiver<Message>>>,
+}
+
+impl CommWorld {
+    /// Creates the channel mesh for `world` workers.
+    pub fn new(world: usize) -> Self {
+        let mut senders = vec![Vec::with_capacity(world); world];
+        let mut receivers = vec![Vec::with_capacity(world); world];
+        for dst in 0..world {
+            for _src in 0..world {
+                let (tx, rx) = unbounded();
+                // senders[src][dst] sends to receivers[dst][src].
+                receivers[dst].push(rx);
+                senders[dst].push(tx);
+            }
+        }
+        // Reorganize: we built senders[dst][src]; transpose to senders[src][dst].
+        let mut senders_t = vec![Vec::with_capacity(world); world];
+        for (src, row) in transpose(senders).into_iter().enumerate() {
+            senders_t[src] = row;
+        }
+        CommWorld { senders: senders_t, receivers }
+    }
+
+    /// Splits the world into per-rank communicator handles. Must be called
+    /// once; each handle is moved into its worker thread.
+    pub fn into_communicators(self) -> Vec<Communicator> {
+        let world = self.receivers.len();
+        let senders = Arc::new(self.senders);
+        self.receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Communicator { rank, world, senders: Arc::clone(&senders), receivers: rx })
+            .collect()
+    }
+}
+
+fn transpose<T>(rows: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    let n = rows.len();
+    let mut cols: Vec<Vec<T>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    for row in rows {
+        for (j, item) in row.into_iter().enumerate() {
+            cols[j].push(item);
+        }
+    }
+    cols
+}
+
+/// Per-worker communicator handle.
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    senders: Arc<Vec<Vec<Sender<Message>>>>,
+    receivers: Vec<Receiver<Message>>,
+}
+
+impl Communicator {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the communicator.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Sends a tensor to `dst`.
+    pub fn send(&self, dst: usize, tensor: Tensor) {
+        self.senders[self.rank][dst]
+            .send(Message::Tensor { tensor })
+            .expect("receiver dropped");
+    }
+
+    /// Receives the next tensor sent by `src`.
+    pub fn recv(&self, src: usize) -> Tensor {
+        match self.receivers[src].recv().expect("sender dropped") {
+            Message::Tensor { tensor } => tensor,
+        }
+    }
+
+    /// Allreduce (sum): every worker contributes a tensor of identical shape
+    /// and receives the element-wise sum. Implemented as gather-to-all
+    /// (every rank sends to every other rank), which keeps the reference
+    /// implementation simple and obviously correct.
+    pub fn allreduce_sum(&self, tensor: &Tensor) -> Tensor {
+        for dst in 0..self.world {
+            if dst != self.rank {
+                self.send(dst, tensor.clone());
+            }
+        }
+        let mut acc = tensor.clone();
+        for src in 0..self.world {
+            if src != self.rank {
+                acc.add_assign(&self.recv(src));
+            }
+        }
+        acc
+    }
+
+    /// Allgather along `axis`: every worker contributes its shard and receives
+    /// the concatenation of all shards in rank order.
+    pub fn allgather_axis(&self, shard: &Tensor, axis: usize) -> Tensor {
+        for dst in 0..self.world {
+            if dst != self.rank {
+                self.send(dst, shard.clone());
+            }
+        }
+        let mut parts: Vec<Tensor> = Vec::with_capacity(self.world);
+        for src in 0..self.world {
+            if src == self.rank {
+                parts.push(shard.clone());
+            } else {
+                parts.push(self.recv(src));
+            }
+        }
+        Tensor::concat_axis(&parts, axis)
+    }
+
+    /// Broadcast from `root`: the root's tensor is returned on every rank.
+    pub fn broadcast(&self, tensor: Option<Tensor>, root: usize) -> Tensor {
+        if self.rank == root {
+            let t = tensor.expect("root must provide the tensor");
+            for dst in 0..self.world {
+                if dst != root {
+                    self.send(dst, t.clone());
+                }
+            }
+            t
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Halo exchange in a 1-D decomposition: sends `to_left`/`to_right` to the
+    /// neighbouring ranks and returns `(from_left, from_right)` (None at the
+    /// domain boundaries).
+    pub fn halo_exchange(
+        &self,
+        to_left: Option<Tensor>,
+        to_right: Option<Tensor>,
+    ) -> (Option<Tensor>, Option<Tensor>) {
+        if let (Some(t), true) = (&to_left, self.rank > 0) {
+            self.send(self.rank - 1, t.clone());
+        }
+        if let (Some(t), true) = (&to_right, self.rank + 1 < self.world) {
+            self.send(self.rank + 1, t.clone());
+        }
+        let from_left = if self.rank > 0 { Some(self.recv(self.rank - 1)) } else { None };
+        let from_right =
+            if self.rank + 1 < self.world { Some(self.recv(self.rank + 1)) } else { None };
+        (from_left, from_right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_world<F, R>(world: usize, f: F) -> Vec<R>
+    where
+        F: Fn(Communicator) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let comms = CommWorld::new(world).into_communicators();
+        let f = Arc::new(f);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let results = run_world(4, |c| {
+            let t = Tensor::full(&[3], (c.rank() + 1) as f32);
+            c.allreduce_sum(&t)
+        });
+        for r in results {
+            assert_eq!(r.data(), &[10.0, 10.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let results = run_world(3, |c| {
+            let shard = Tensor::full(&[1, 2], c.rank() as f32);
+            c.allgather_axis(&shard, 0)
+        });
+        for r in results {
+            assert_eq!(r.shape(), &[3, 2]);
+            assert_eq!(r.data(), &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_value() {
+        let results = run_world(4, |c| {
+            let t = if c.rank() == 2 { Some(Tensor::full(&[2], 7.0)) } else { None };
+            c.broadcast(t, 2)
+        });
+        for r in results {
+            assert_eq!(r.data(), &[7.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn halo_exchange_swaps_with_neighbours() {
+        let results = run_world(3, |c| {
+            let own = Tensor::full(&[1], c.rank() as f32);
+            let (left, right) = c.halo_exchange(Some(own.clone()), Some(own));
+            (
+                c.rank(),
+                left.map(|t| t.data()[0]),
+                right.map(|t| t.data()[0]),
+            )
+        });
+        for (rank, left, right) in results {
+            if rank == 0 {
+                assert_eq!(left, None);
+                assert_eq!(right, Some(1.0));
+            } else if rank == 2 {
+                assert_eq!(left, Some(1.0));
+                assert_eq!(right, None);
+            } else {
+                assert_eq!(left, Some(0.0));
+                assert_eq!(right, Some(2.0));
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_send_recv() {
+        let results = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, Tensor::full(&[2], 3.0));
+                0.0
+            } else {
+                c.recv(0).sum()
+            }
+        });
+        assert_eq!(results[1], 6.0);
+    }
+}

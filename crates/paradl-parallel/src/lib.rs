@@ -1,0 +1,25 @@
+//! # paradl-parallel
+//!
+//! Threaded reference implementations of the paper's parallel strategies on
+//! top of the `paradl-tensor` engine: data, filter, channel, spatial,
+//! pipeline and data+filter hybrid decompositions exchanging tensors over a
+//! channel-based [`comm::Communicator`] (the role NCCL/MPI play in the
+//! paper's ChainerMNX implementation).
+//!
+//! Every decomposition is verified value-by-value against the sequential
+//! engine — the correctness methodology of the paper's §4.5.2: changing how
+//! tensors are partitioned (and which collectives run) must not change any
+//! activation or gradient.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod strategies;
+
+pub use comm::{CommWorld, Communicator};
+pub use strategies::{
+    channel_parallel_conv_forward, data_filter_forward, data_parallel_gradients,
+    filter_parallel_forward, pipeline_parallel_forward, run_world,
+    spatial_parallel_conv_forward,
+};

@@ -1,0 +1,387 @@
+//! Threaded reference implementations of the parallel strategies, verified
+//! value-by-value against the sequential engine — the correctness methodology
+//! of the paper's §4.5.2: the decompositions change how tensors are
+//! partitioned and which collectives run, but must not change any computed
+//! activation or gradient.
+//!
+//! Each function distributes one forward pass (or one full training step for
+//! data parallelism) of [`SmallCnn`] over `world` worker threads using the
+//! [`Communicator`] collectives in exactly the places the paper's
+//! formulations put them: gradient-exchange Allreduce for data parallelism,
+//! per-layer Allgather for filter parallelism, per-layer Allreduce for
+//! channel parallelism, halo exchange for spatial parallelism and stage-to-
+//! stage P2P for the pipeline.
+
+use crate::comm::{CommWorld, Communicator};
+use paradl_tensor::{
+    conv2d_forward, global_avg_pool_forward, linear_forward, maxpool2d_forward, relu_forward,
+    softmax_cross_entropy, Conv2dParams, Gradients, SmallCnn, Tensor,
+};
+use std::sync::Arc;
+use std::thread;
+
+/// Runs `f` on `world` threads, each with its own [`Communicator`], and
+/// collects the per-rank results in rank order.
+pub fn run_world<F, R>(world: usize, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let comms = CommWorld::new(world).into_communicators();
+    let f = Arc::new(f);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|c| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(c))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// Data parallelism: each worker computes gradients on its shard of the
+/// batch, the gradients are combined with an Allreduce (the GE phase) and
+/// averaged. Returns the per-rank averaged gradients — identical on every
+/// rank and identical to the sequential gradients over the full batch.
+pub fn data_parallel_gradients(
+    net: &SmallCnn,
+    input: &Tensor,
+    labels: &[usize],
+    world: usize,
+) -> Vec<Gradients> {
+    let n = input.shape()[0];
+    assert_eq!(n % world, 0, "batch must divide evenly over the workers");
+    let shard = n / world;
+    let net = net.clone();
+    let input = input.clone();
+    let labels = labels.to_vec();
+    run_world(world, move |comm| {
+        let r = comm.rank();
+        let x = input.slice_axis(0, r * shard, shard);
+        let y = &labels[r * shard..(r + 1) * shard];
+        let trace = net.forward(&x);
+        let (_, d_logits) = softmax_cross_entropy(&trace.logits, y);
+        let local = net.backward(&trace, &d_logits);
+        // Gradient exchange: Allreduce then average over the replicas.
+        let scale = 1.0 / world as f32;
+        Gradients {
+            conv1_w: comm.allreduce_sum(&local.conv1_w).scale(scale),
+            conv1_b: comm.allreduce_sum(&local.conv1_b).scale(scale),
+            conv2_w: comm.allreduce_sum(&local.conv2_w).scale(scale),
+            conv2_b: comm.allreduce_sum(&local.conv2_b).scale(scale),
+            fc_w: comm.allreduce_sum(&local.fc_w).scale(scale),
+            fc_b: comm.allreduce_sum(&local.fc_b).scale(scale),
+            input: local.input,
+        }
+    })
+}
+
+/// Filter parallelism: each worker holds `F/world` filters of every
+/// convolution (and `classes/world` columns of the FC layer), computes its
+/// partial output channels, and the full activation is reassembled with an
+/// Allgather after every layer. Returns the per-rank logits — identical on
+/// every rank and identical to the sequential forward pass.
+pub fn filter_parallel_forward(net: &SmallCnn, input: &Tensor, world: usize) -> Vec<Tensor> {
+    assert_eq!(net.config.conv1_filters % world, 0, "conv1 filters must divide");
+    assert_eq!(net.config.conv2_filters % world, 0, "conv2 filters must divide");
+    assert_eq!(net.config.classes % world, 0, "classes must divide");
+    let net = net.clone();
+    let input = input.clone();
+    run_world(world, move |comm| {
+        let r = comm.rank();
+        let p = comm.world();
+        let params = Conv2dParams { stride: 1, padding: 1 };
+        // conv1: split the filter (output-channel) dimension of the weights.
+        let f1 = net.conv1_w.shape()[0] / p;
+        let w1 = net.conv1_w.slice_axis(0, r * f1, f1);
+        let b1 = net.conv1_b.slice_axis(0, r * f1, f1);
+        let partial1 = conv2d_forward(&input, &w1, &b1, params);
+        // Allgather the output channels (axis 1 of NCHW).
+        let full1 = comm.allgather_axis(&partial1, 1);
+        let relu1 = relu_forward(&full1);
+        let (pool, _) = maxpool2d_forward(&relu1, 2);
+        // conv2, same decomposition.
+        let f2 = net.conv2_w.shape()[0] / p;
+        let w2 = net.conv2_w.slice_axis(0, r * f2, f2);
+        let b2 = net.conv2_b.slice_axis(0, r * f2, f2);
+        let partial2 = conv2d_forward(&pool, &w2, &b2, params);
+        let full2 = comm.allgather_axis(&partial2, 1);
+        let relu2 = relu_forward(&full2);
+        let gap = global_avg_pool_forward(&relu2);
+        // FC: split the output (class) dimension — columns of the weight.
+        let c = net.fc_w.shape()[1] / p;
+        let wf = net.fc_w.slice_axis(1, r * c, c);
+        let bf = net.fc_b.slice_axis(0, r * c, c);
+        let partial_logits = linear_forward(&gap, &wf, &bf);
+        comm.allgather_axis(&partial_logits, 1)
+    })
+}
+
+/// Channel parallelism for one convolution layer: each worker holds
+/// `C/world` input channels of both the input and the weights, computes a
+/// partial sum over its channels, and the outputs are combined with an
+/// Allreduce (the forward-pass collective of channel parallelism). The bias
+/// is added once, by rank 0. Returns the per-rank outputs — identical to the
+/// full convolution.
+pub fn channel_parallel_conv_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+    world: usize,
+) -> Vec<Tensor> {
+    let c = input.shape()[1];
+    assert_eq!(c % world, 0, "channels must divide evenly");
+    let per = c / world;
+    let input = input.clone();
+    let weight = weight.clone();
+    let bias = bias.clone();
+    run_world(world, move |comm| {
+        let r = comm.rank();
+        let x = input.slice_axis(1, r * per, per);
+        let w = weight.slice_axis(1, r * per, per);
+        // Only one rank contributes the bias so the Allreduce adds it once.
+        let b = if r == 0 { bias.clone() } else { Tensor::zeros(bias.shape()) };
+        let partial = conv2d_forward(&x, &w, &b, params);
+        comm.allreduce_sum(&partial)
+    })
+}
+
+/// Spatial parallelism for one convolution layer: the width dimension of the
+/// input is split over the workers, each worker exchanges a one-column halo
+/// with its logical neighbours (kernel 3, stride 1, padding 1) and computes
+/// its slab of the output. Returns the per-rank output slabs in rank order;
+/// concatenated along the width they equal the sequential convolution.
+pub fn spatial_parallel_conv_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    world: usize,
+) -> Vec<Tensor> {
+    let w_dim = input.shape()[3];
+    assert_eq!(w_dim % world, 0, "width must divide evenly");
+    assert_eq!(weight.shape()[2], 3, "spatial reference implementation assumes 3×3 kernels");
+    let per = w_dim / world;
+    let input = input.clone();
+    let weight = weight.clone();
+    let bias = bias.clone();
+    run_world(world, move |comm| {
+        let r = comm.rank();
+        let p = comm.world();
+        let slab = input.slice_axis(3, r * per, per);
+        // Halo exchange: send the boundary column to each neighbour.
+        let left_edge = slab.slice_axis(3, 0, 1);
+        let right_edge = slab.slice_axis(3, per - 1, 1);
+        let (from_left, from_right) = comm.halo_exchange(
+            if r > 0 { Some(left_edge) } else { None },
+            if r + 1 < p { Some(right_edge) } else { None },
+        );
+        // Build the extended slab: [halo_left | slab | halo_right].
+        let mut parts: Vec<Tensor> = Vec::new();
+        let left_cols = if let Some(h) = from_left {
+            parts.push(h);
+            1
+        } else {
+            0
+        };
+        parts.push(slab);
+        let right_cols = if let Some(h) = from_right {
+            parts.push(h);
+            1
+        } else {
+            0
+        };
+        let extended = Tensor::concat_axis(&parts, 3);
+        // Interior boundaries get their context from the halo (no padding);
+        // domain boundaries keep the zero padding of the sequential conv.
+        // We emulate that by always padding (the conv op pads everywhere) and
+        // then discarding the output columns that belong to the halo.
+        let out = conv2d_forward(&extended, &weight, &bias, Conv2dParams { stride: 1, padding: 1 });
+        let out_w = out.shape()[3];
+        out.slice_axis(3, left_cols, out_w - left_cols - right_cols)
+    })
+}
+
+/// Pipeline (layer) parallelism over two stages: stage 0 runs conv1/ReLU/pool
+/// and streams each micro-batch segment's activation to stage 1, which runs
+/// conv2/ReLU/global-pool/FC. Returns the logits assembled on the last stage
+/// (empty tensor on the other ranks) — identical to the sequential forward.
+pub fn pipeline_parallel_forward(
+    net: &SmallCnn,
+    input: &Tensor,
+    segments: usize,
+) -> Vec<Tensor> {
+    let n = input.shape()[0];
+    assert!(segments >= 1 && n % segments == 0, "segments must divide the batch");
+    let seg = n / segments;
+    let net = net.clone();
+    let input = input.clone();
+    run_world(2, move |comm| {
+        let params = Conv2dParams { stride: 1, padding: 1 };
+        if comm.rank() == 0 {
+            // Stage 0: conv1 → ReLU → pool, one segment at a time.
+            for s in 0..segments {
+                let x = input.slice_axis(0, s * seg, seg);
+                let c1 = conv2d_forward(&x, &net.conv1_w, &net.conv1_b, params);
+                let r1 = relu_forward(&c1);
+                let (pool, _) = maxpool2d_forward(&r1, 2);
+                comm.send(1, pool);
+            }
+            Tensor::zeros(&[0])
+        } else {
+            // Stage 1: conv2 → ReLU → global pool → FC, segment by segment.
+            let mut logits_parts = Vec::with_capacity(segments);
+            for _s in 0..segments {
+                let pool = comm.recv(0);
+                let c2 = conv2d_forward(&pool, &net.conv2_w, &net.conv2_b, params);
+                let r2 = relu_forward(&c2);
+                let gap = global_avg_pool_forward(&r2);
+                logits_parts.push(linear_forward(&gap, &net.fc_w, &net.fc_b));
+            }
+            Tensor::concat_axis(&logits_parts, 0)
+        }
+    })
+}
+
+/// Hybrid data+filter parallelism: `p1` data-parallel groups of `p2`
+/// filter-parallel workers each. Returns, per rank, the logits of the group's
+/// batch shard — within a group every rank holds the same logits, and they
+/// match the sequential forward of that shard.
+pub fn data_filter_forward(
+    net: &SmallCnn,
+    input: &Tensor,
+    p1: usize,
+    p2: usize,
+) -> Vec<Tensor> {
+    let n = input.shape()[0];
+    assert_eq!(n % p1, 0, "batch must divide over the data groups");
+    let shard = n / p1;
+    // Run each data group as an independent filter-parallel world on its shard.
+    let mut out = Vec::with_capacity(p1 * p2);
+    for g in 0..p1 {
+        let x = input.slice_axis(0, g * shard, shard);
+        out.extend(filter_parallel_forward(net, &x, p2));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradl_tensor::SmallCnnConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const TOL: f32 = 1e-4;
+
+    fn net_and_batch(n: usize) -> (SmallCnn, Tensor, Vec<usize>) {
+        let config = SmallCnnConfig {
+            in_channels: 4,
+            input_side: 8,
+            conv1_filters: 8,
+            conv2_filters: 8,
+            classes: 4,
+        };
+        let net = SmallCnn::new(config, 99);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let x = Tensor::random(&[n, 4, 8, 8], 1.0, &mut rng);
+        let labels = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        (net, x, labels)
+    }
+
+    #[test]
+    fn data_parallel_gradients_match_sequential() {
+        let (net, x, labels) = net_and_batch(8);
+        // Sequential reference over the full batch.
+        let trace = net.forward(&x);
+        let (_, d_logits) = softmax_cross_entropy(&trace.logits, &labels);
+        let reference = net.backward(&trace, &d_logits);
+        for world in [2usize, 4] {
+            let per_rank = data_parallel_gradients(&net, &x, &labels, world);
+            for g in &per_rank {
+                assert!(g.conv1_w.approx_eq(&reference.conv1_w, TOL));
+                assert!(g.conv2_w.approx_eq(&reference.conv2_w, TOL));
+                assert!(g.fc_w.approx_eq(&reference.fc_w, TOL));
+                assert!(g.fc_b.approx_eq(&reference.fc_b, TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_parallel_forward_matches_sequential() {
+        let (net, x, _) = net_and_batch(4);
+        let reference = net.forward(&x).logits;
+        for world in [2usize, 4] {
+            for logits in filter_parallel_forward(&net, &x, world) {
+                assert!(
+                    logits.approx_eq(&reference, TOL),
+                    "filter parallelism diverged at world={world}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_parallel_conv_matches_full_convolution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::random(&[2, 8, 6, 6], 1.0, &mut rng);
+        let w = Tensor::random(&[5, 8, 3, 3], 0.5, &mut rng);
+        let b = Tensor::random(&[5], 0.5, &mut rng);
+        let params = Conv2dParams { stride: 1, padding: 1 };
+        let reference = conv2d_forward(&x, &w, &b, params);
+        for world in [2usize, 4] {
+            for out in channel_parallel_conv_forward(&x, &w, &b, params, world) {
+                assert!(out.approx_eq(&reference, TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_parallel_conv_matches_full_convolution() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Tensor::random(&[2, 3, 8, 8], 1.0, &mut rng);
+        let w = Tensor::random(&[4, 3, 3, 3], 0.5, &mut rng);
+        let b = Tensor::random(&[4], 0.5, &mut rng);
+        let reference = conv2d_forward(&x, &w, &b, Conv2dParams { stride: 1, padding: 1 });
+        for world in [2usize, 4] {
+            let slabs = spatial_parallel_conv_forward(&x, &w, &b, world);
+            let assembled = Tensor::concat_axis(&slabs, 3);
+            assert!(
+                assembled.approx_eq(&reference, TOL),
+                "spatial parallelism diverged at world={world}: max diff {}",
+                assembled.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_forward_matches_sequential() {
+        let (net, x, _) = net_and_batch(8);
+        let reference = net.forward(&x).logits;
+        for segments in [1usize, 2, 4] {
+            let results = pipeline_parallel_forward(&net, &x, segments);
+            // The last stage holds the assembled logits.
+            assert!(
+                results[1].approx_eq(&reference, TOL),
+                "pipeline diverged at S={segments}"
+            );
+            assert!(results[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn data_filter_hybrid_matches_sequential_shards() {
+        let (net, x, _) = net_and_batch(8);
+        let p1 = 2;
+        let p2 = 2;
+        let results = data_filter_forward(&net, &x, p1, p2);
+        assert_eq!(results.len(), p1 * p2);
+        for g in 0..p1 {
+            let shard = x.slice_axis(0, g * 4, 4);
+            let reference = net.forward(&shard).logits;
+            for r in 0..p2 {
+                assert!(results[g * p2 + r].approx_eq(&reference, TOL));
+            }
+        }
+    }
+}

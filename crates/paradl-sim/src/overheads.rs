@@ -1,0 +1,190 @@
+//! Framework / system overhead models that separate the *measured* run from
+//! the oracle's ideal projection.
+//!
+//! The paper attributes the gap between ParaDL and measured runs to a small
+//! set of mechanisms (§5.2–5.3): imperfect scaling of split convolutions and
+//! split/concat glue kernels in filter/channel parallelism (Figure 8), memory
+//! -manager stalls when asynchronous kernels wait for allocations, and
+//! network congestion from other jobs (Figure 6). The simulator applies these
+//! on top of the analytical compute/communication costs to produce a
+//! "measured-like" trace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Implementation overheads of the framework executing the strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Efficiency loss of convolutions whose filters/channels are split over
+    /// `p` PEs: the per-PE time is `(work/p) · (1 + split_inefficiency·(p−1))`
+    /// instead of the ideal `work/p` (Figure 8, "conv does not scale well").
+    pub conv_split_inefficiency: f64,
+    /// Fixed split/concat glue time per layer per iteration, in seconds, for
+    /// filter/channel parallelism (Figure 8, split/concat bars).
+    pub split_concat_per_layer: f64,
+    /// Probability that an iteration hits a memory-manager stall.
+    pub memory_stall_probability: f64,
+    /// Multiplicative slowdown of a stalled iteration's compute.
+    pub memory_stall_factor: f64,
+    /// Probability that a collective hits external network congestion.
+    pub congestion_probability: f64,
+    /// Maximum multiplicative slowdown of a congested collective (the paper
+    /// observes up to ≈4×, Figure 6).
+    pub congestion_max_factor: f64,
+    /// Relative run-to-run noise applied to compute times (GPU clocks, OS
+    /// jitter).
+    pub compute_noise: f64,
+}
+
+impl OverheadModel {
+    /// Overheads representative of the paper's ChainerMNX measurements.
+    pub fn chainermnx() -> Self {
+        OverheadModel {
+            conv_split_inefficiency: 0.015,
+            split_concat_per_layer: 120e-6,
+            memory_stall_probability: 0.05,
+            memory_stall_factor: 1.3,
+            congestion_probability: 0.08,
+            congestion_max_factor: 4.0,
+            compute_noise: 0.03,
+        }
+    }
+
+    /// An ideal framework with no overheads: the simulator then reproduces
+    /// the oracle exactly (used to validate the simulator itself).
+    pub fn ideal() -> Self {
+        OverheadModel {
+            conv_split_inefficiency: 0.0,
+            split_concat_per_layer: 0.0,
+            memory_stall_probability: 0.0,
+            memory_stall_factor: 1.0,
+            congestion_probability: 0.0,
+            congestion_max_factor: 1.0,
+            compute_noise: 0.0,
+        }
+    }
+
+    /// Congestion-free variant of `chainermnx` (the paper reports the best
+    /// communication times, excluding congested outliers, in Figure 3).
+    pub fn chainermnx_quiet() -> Self {
+        OverheadModel {
+            congestion_probability: 0.0,
+            memory_stall_probability: 0.0,
+            ..Self::chainermnx()
+        }
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel::chainermnx_quiet()
+    }
+}
+
+/// Per-run random draws of the overhead model.
+#[derive(Debug)]
+pub struct OverheadSampler {
+    model: OverheadModel,
+    rng: StdRng,
+}
+
+impl OverheadSampler {
+    /// Creates a sampler with a deterministic seed.
+    pub fn new(model: OverheadModel, seed: u64) -> Self {
+        OverheadSampler { model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The overhead model being sampled.
+    pub fn model(&self) -> &OverheadModel {
+        &self.model
+    }
+
+    /// Multiplier applied to a compute time (noise + possible memory stall).
+    pub fn compute_multiplier(&mut self) -> f64 {
+        let noise = if self.model.compute_noise > 0.0 {
+            1.0 + self.rng.gen_range(-self.model.compute_noise..=self.model.compute_noise)
+        } else {
+            1.0
+        };
+        let stall = if self.model.memory_stall_probability > 0.0
+            && self.rng.gen_bool(self.model.memory_stall_probability)
+        {
+            self.model.memory_stall_factor
+        } else {
+            1.0
+        };
+        noise * stall
+    }
+
+    /// Multiplier applied to a collective's time (external congestion).
+    pub fn congestion_multiplier(&mut self) -> f64 {
+        if self.model.congestion_probability > 0.0
+            && self.rng.gen_bool(self.model.congestion_probability)
+        {
+            self.rng.gen_range(1.5..=self.model.congestion_max_factor)
+        } else {
+            1.0
+        }
+    }
+
+    /// Per-PE compute inefficiency factor when a conv layer's work is split
+    /// over `p` PEs.
+    pub fn split_scaling_factor(&self, p: usize) -> f64 {
+        1.0 + self.model.conv_split_inefficiency * (p.saturating_sub(1)) as f64
+    }
+
+    /// Split/concat glue time for `layers` layers in one iteration.
+    pub fn split_concat_time(&self, layers: usize) -> f64 {
+        self.model.split_concat_per_layer * layers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_is_a_noop() {
+        let mut s = OverheadSampler::new(OverheadModel::ideal(), 1);
+        for _ in 0..100 {
+            assert_eq!(s.compute_multiplier(), 1.0);
+            assert_eq!(s.congestion_multiplier(), 1.0);
+        }
+        assert_eq!(s.split_scaling_factor(64), 1.0);
+        assert_eq!(s.split_concat_time(50), 0.0);
+    }
+
+    #[test]
+    fn congestion_occasionally_slows_collectives() {
+        let mut s = OverheadSampler::new(OverheadModel::chainermnx(), 42);
+        let draws: Vec<f64> = (0..1000).map(|_| s.congestion_multiplier()).collect();
+        let congested = draws.iter().filter(|&&d| d > 1.0).count();
+        assert!(congested > 20 && congested < 300, "congested = {congested}");
+        assert!(draws.iter().cloned().fold(0.0, f64::max) <= 4.0);
+    }
+
+    #[test]
+    fn split_scaling_grows_with_p() {
+        let s = OverheadSampler::new(OverheadModel::chainermnx(), 0);
+        assert!(s.split_scaling_factor(64) > s.split_scaling_factor(4));
+        assert_eq!(s.split_scaling_factor(1), 1.0);
+    }
+
+    #[test]
+    fn compute_noise_stays_within_bounds() {
+        let mut s = OverheadSampler::new(OverheadModel::chainermnx_quiet(), 9);
+        for _ in 0..200 {
+            let m = s.compute_multiplier();
+            assert!((0.97..=1.03).contains(&m), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = OverheadSampler::new(OverheadModel::chainermnx(), 5);
+        let mut b = OverheadSampler::new(OverheadModel::chainermnx(), 5);
+        let da: Vec<f64> = (0..50).map(|_| a.compute_multiplier()).collect();
+        let db: Vec<f64> = (0..50).map(|_| b.compute_multiplier()).collect();
+        assert_eq!(da, db);
+    }
+}

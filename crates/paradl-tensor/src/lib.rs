@@ -1,0 +1,27 @@
+//! # paradl-tensor
+//!
+//! A small, dependency-light CPU tensor engine: dense `f32` [`tensor::Tensor`]s,
+//! the CNN operators ([`ops`]: conv2d, max/global pooling, ReLU,
+//! fully-connected, softmax cross-entropy, SGD) with forward *and* backward
+//! passes, and a reference [`network::SmallCnn`].
+//!
+//! Its role in the ParaDL reproduction is to be the **ground truth** the
+//! threaded parallel-strategy implementations in `paradl-parallel` are
+//! verified against value-by-value — the correctness methodology of the
+//! paper's §4.5.2 — so the implementations favour clarity over speed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod network;
+pub mod ops;
+pub mod tensor;
+
+pub use network::{ForwardTrace, Gradients, SmallCnn, SmallCnnConfig};
+pub use ops::{
+    conv2d_backward, conv2d_forward, conv_out_size, global_avg_pool_backward,
+    global_avg_pool_forward, linear_backward, linear_forward, maxpool2d_backward,
+    maxpool2d_forward, relu_backward, relu_forward, sgd_step, softmax_cross_entropy,
+    Conv2dGrads, Conv2dParams, LinearGrads,
+};
+pub use tensor::Tensor;

@@ -1,0 +1,299 @@
+//! A small reference CNN (conv → ReLU → maxpool → conv → ReLU → global
+//! average pool → fully-connected) with an explicit forward/backward
+//! implementation and an SGD training step. This is the sequential baseline
+//! the parallel strategies in `paradl-parallel` are verified against.
+
+use crate::ops::{
+    conv2d_backward, conv2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    linear_backward, linear_forward, maxpool2d_backward, maxpool2d_forward, relu_backward,
+    relu_forward, sgd_step, softmax_cross_entropy, Conv2dParams,
+};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the reference CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallCnnConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial side length (must be divisible by 2).
+    pub input_side: usize,
+    /// Filters of the first convolution.
+    pub conv1_filters: usize,
+    /// Filters of the second convolution.
+    pub conv2_filters: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Default for SmallCnnConfig {
+    fn default() -> Self {
+        SmallCnnConfig {
+            in_channels: 3,
+            input_side: 16,
+            conv1_filters: 8,
+            conv2_filters: 16,
+            classes: 10,
+        }
+    }
+}
+
+/// The learnable parameters of the reference CNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallCnn {
+    /// Configuration the network was built with.
+    pub config: SmallCnnConfig,
+    /// First convolution weights `[F1, C, 3, 3]`.
+    pub conv1_w: Tensor,
+    /// First convolution bias `[F1]`.
+    pub conv1_b: Tensor,
+    /// Second convolution weights `[F2, F1, 3, 3]`.
+    pub conv2_w: Tensor,
+    /// Second convolution bias `[F2]`.
+    pub conv2_b: Tensor,
+    /// Fully-connected weights `[F2, classes]`.
+    pub fc_w: Tensor,
+    /// Fully-connected bias `[classes]`.
+    pub fc_b: Tensor,
+}
+
+/// All intermediate activations of one forward pass (needed by backward).
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Network input.
+    pub input: Tensor,
+    /// conv1 pre-activation.
+    pub conv1_out: Tensor,
+    /// conv1 ReLU output.
+    pub relu1_out: Tensor,
+    /// maxpool output.
+    pub pool_out: Tensor,
+    /// maxpool argmax indices.
+    pub pool_argmax: Vec<usize>,
+    /// conv2 pre-activation.
+    pub conv2_out: Tensor,
+    /// conv2 ReLU output.
+    pub relu2_out: Tensor,
+    /// global-average-pool output `[N, F2]`.
+    pub gap_out: Tensor,
+    /// Final logits `[N, classes]`.
+    pub logits: Tensor,
+}
+
+/// Gradients of every parameter, in the same layout as [`SmallCnn`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Gradient of `conv1_w`.
+    pub conv1_w: Tensor,
+    /// Gradient of `conv1_b`.
+    pub conv1_b: Tensor,
+    /// Gradient of `conv2_w`.
+    pub conv2_w: Tensor,
+    /// Gradient of `conv2_b`.
+    pub conv2_b: Tensor,
+    /// Gradient of `fc_w`.
+    pub fc_w: Tensor,
+    /// Gradient of `fc_b`.
+    pub fc_b: Tensor,
+    /// Gradient w.r.t. the network input (used by decomposition checks).
+    pub input: Tensor,
+}
+
+impl SmallCnn {
+    /// Initializes the network with seeded uniform random weights so runs are
+    /// reproducible.
+    pub fn new(config: SmallCnnConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = config;
+        SmallCnn {
+            config: c,
+            conv1_w: Tensor::random(&[c.conv1_filters, c.in_channels, 3, 3], 0.2, &mut rng),
+            conv1_b: Tensor::random(&[c.conv1_filters], 0.1, &mut rng),
+            conv2_w: Tensor::random(&[c.conv2_filters, c.conv1_filters, 3, 3], 0.2, &mut rng),
+            conv2_b: Tensor::random(&[c.conv2_filters], 0.1, &mut rng),
+            fc_w: Tensor::random(&[c.conv2_filters, c.classes], 0.2, &mut rng),
+            fc_b: Tensor::random(&[c.classes], 0.1, &mut rng),
+        }
+    }
+
+    /// Runs the forward pass for a batch `[N, C, H, W]`, keeping every
+    /// intermediate needed by the backward pass.
+    pub fn forward(&self, input: &Tensor) -> ForwardTrace {
+        let p1 = Conv2dParams { stride: 1, padding: 1 };
+        let conv1_out = conv2d_forward(input, &self.conv1_w, &self.conv1_b, p1);
+        let relu1_out = relu_forward(&conv1_out);
+        let (pool_out, pool_argmax) = maxpool2d_forward(&relu1_out, 2);
+        let conv2_out = conv2d_forward(&pool_out, &self.conv2_w, &self.conv2_b, p1);
+        let relu2_out = relu_forward(&conv2_out);
+        let gap_out = global_avg_pool_forward(&relu2_out);
+        let logits = linear_forward(&gap_out, &self.fc_w, &self.fc_b);
+        ForwardTrace {
+            input: input.clone(),
+            conv1_out,
+            relu1_out,
+            pool_out,
+            pool_argmax,
+            conv2_out,
+            relu2_out,
+            gap_out,
+            logits,
+        }
+    }
+
+    /// Runs the backward pass from the loss gradient w.r.t. the logits.
+    pub fn backward(&self, trace: &ForwardTrace, d_logits: &Tensor) -> Gradients {
+        let p1 = Conv2dParams { stride: 1, padding: 1 };
+        let fc = linear_backward(&trace.gap_out, &self.fc_w, d_logits);
+        let d_relu2 = global_avg_pool_backward(trace.relu2_out.shape(), &fc.d_input);
+        let d_conv2_out = relu_backward(&trace.conv2_out, &d_relu2);
+        let conv2 = conv2d_backward(&trace.pool_out, &self.conv2_w, &d_conv2_out, p1);
+        let d_relu1 = maxpool2d_backward(
+            trace.relu1_out.shape(),
+            &trace.pool_argmax,
+            &conv2.d_input,
+        );
+        let d_conv1_out = relu_backward(&trace.conv1_out, &d_relu1);
+        let conv1 = conv2d_backward(&trace.input, &self.conv1_w, &d_conv1_out, p1);
+        Gradients {
+            conv1_w: conv1.d_weight,
+            conv1_b: conv1.d_bias,
+            conv2_w: conv2.d_weight,
+            conv2_b: conv2.d_bias,
+            fc_w: fc.d_weight,
+            fc_b: fc.d_bias,
+            input: conv1.d_input,
+        }
+    }
+
+    /// One full training step on a labelled batch: forward, loss, backward,
+    /// SGD update. Returns the mean loss.
+    pub fn train_step(&mut self, input: &Tensor, labels: &[usize], lr: f32) -> f32 {
+        let trace = self.forward(input);
+        let (loss, d_logits) = softmax_cross_entropy(&trace.logits, labels);
+        let grads = self.backward(&trace, &d_logits);
+        self.apply(&grads, lr);
+        loss
+    }
+
+    /// Applies an SGD update with the given gradients.
+    pub fn apply(&mut self, grads: &Gradients, lr: f32) {
+        sgd_step(&mut self.conv1_w, &grads.conv1_w, lr);
+        sgd_step(&mut self.conv1_b, &grads.conv1_b, lr);
+        sgd_step(&mut self.conv2_w, &grads.conv2_w, lr);
+        sgd_step(&mut self.conv2_b, &grads.conv2_b, lr);
+        sgd_step(&mut self.fc_w, &grads.fc_w, lr);
+        sgd_step(&mut self.fc_b, &grads.fc_b, lr);
+    }
+
+    /// Total number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.conv1_w.len()
+            + self.conv1_b.len()
+            + self.conv2_w.len()
+            + self.conv2_b.len()
+            + self.fc_w.len()
+            + self.fc_b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn batch(config: SmallCnnConfig, n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random(
+            &[n, config.in_channels, config.input_side, config.input_side],
+            1.0,
+            &mut rng,
+        );
+        let labels = (0..n).map(|_| rng.gen_range(0..config.classes)).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn forward_shapes_are_consistent() {
+        let config = SmallCnnConfig::default();
+        let net = SmallCnn::new(config, 42);
+        let (x, _) = batch(config, 2, 1);
+        let trace = net.forward(&x);
+        assert_eq!(trace.conv1_out.shape(), &[2, 8, 16, 16]);
+        assert_eq!(trace.pool_out.shape(), &[2, 8, 8, 8]);
+        assert_eq!(trace.conv2_out.shape(), &[2, 16, 8, 8]);
+        assert_eq!(trace.logits.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn forward_is_deterministic_for_same_seed() {
+        let config = SmallCnnConfig::default();
+        let a = SmallCnn::new(config, 7);
+        let b = SmallCnn::new(config, 7);
+        let (x, _) = batch(config, 2, 2);
+        assert!(a.forward(&x).logits.approx_eq(&b.forward(&x).logits, 0.0));
+        let c = SmallCnn::new(config, 8);
+        assert!(!a.forward(&x).logits.approx_eq(&c.forward(&x).logits, 1e-6));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_batch() {
+        let config = SmallCnnConfig {
+            input_side: 8,
+            conv1_filters: 4,
+            conv2_filters: 8,
+            classes: 4,
+            ..Default::default()
+        };
+        let mut net = SmallCnn::new(config, 3);
+        let (x, labels) = batch(config, 4, 5);
+        let first = net.train_step(&x, &labels, 0.1);
+        let mut last = first;
+        for _ in 0..10 {
+            last = net.train_step(&x, &labels, 0.1);
+        }
+        assert!(
+            last < first,
+            "loss should decrease when overfitting one batch: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn gradient_of_sum_loss_matches_numerical_check_for_fc_bias() {
+        let config = SmallCnnConfig {
+            input_side: 8,
+            conv1_filters: 4,
+            conv2_filters: 6,
+            classes: 3,
+            ..Default::default()
+        };
+        let net = SmallCnn::new(config, 11);
+        let (x, labels) = batch(config, 2, 12);
+        let trace = net.forward(&x);
+        let (_, d_logits) = softmax_cross_entropy(&trace.logits, &labels);
+        let grads = net.backward(&trace, &d_logits);
+        let eps = 1e-2f32;
+        for idx in 0..config.classes {
+            let mut plus = net.clone();
+            plus.fc_b.data_mut()[idx] += eps;
+            let (lp, _) = softmax_cross_entropy(&plus.forward(&x).logits, &labels);
+            let mut minus = net.clone();
+            minus.fc_b.data_mut()[idx] -= eps;
+            let (lm, _) = softmax_cross_entropy(&minus.forward(&x).logits, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.fc_b.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "fc bias grad mismatch at {idx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_hand_calculation() {
+        let config = SmallCnnConfig::default();
+        let net = SmallCnn::new(config, 1);
+        let expected = 8 * 3 * 9 + 8 + 16 * 8 * 9 + 16 + 16 * 10 + 10;
+        assert_eq!(net.param_count(), expected);
+    }
+}

@@ -1,0 +1,554 @@
+//! CNN operators: 2-D convolution, pooling, ReLU, fully-connected layers and
+//! the softmax/cross-entropy loss, each with its backward pass, plus the SGD
+//! weight update.
+//!
+//! All operators work on NCHW [`Tensor`]s (`[N, C, H, W]`). The
+//! implementations are straightforward direct loops: their purpose is to be
+//! an unambiguous *reference* against which the parallel decompositions of
+//! `paradl-parallel` are checked value-by-value, not to be fast.
+
+use crate::tensor::Tensor;
+
+/// Hyper-parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, padding: 0 }
+    }
+}
+
+/// Output spatial size of a convolution/pooling with the given geometry.
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+/// 2-D convolution forward: input `[N, C, H, W]`, weight `[F, C, K, K]`,
+/// bias `[F]` → output `[N, F, H', W']`.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    params: Conv2dParams,
+) -> Tensor {
+    let (n, c, h, w) = shape4(input);
+    let (f, wc, k, k2) = shape4(weight);
+    assert_eq!(c, wc, "channel mismatch between input and weight");
+    assert_eq!(k, k2, "only square kernels are supported");
+    assert_eq!(bias.shape(), &[f], "bias must have one entry per filter");
+    let oh = conv_out_size(h, k, params.stride, params.padding);
+    let ow = conv_out_size(w, k, params.stride, params.padding);
+    let mut out = Tensor::zeros(&[n, f, oh, ow]);
+    for ni in 0..n {
+        for fi in 0..f {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.get(&[fi]);
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * params.stride + ky;
+                                let ix = ox * params.stride + kx;
+                                if iy < params.padding || ix < params.padding {
+                                    continue;
+                                }
+                                let iy = iy - params.padding;
+                                let ix = ix - params.padding;
+                                if iy >= h || ix >= w {
+                                    continue;
+                                }
+                                acc += input.get(&[ni, ci, iy, ix])
+                                    * weight.get(&[fi, ci, ky, kx]);
+                            }
+                        }
+                    }
+                    out.set(&[ni, fi, oy, ox], acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients produced by the convolution backward pass.
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub d_input: Tensor,
+    /// Gradient w.r.t. the weights, `[F, C, K, K]`.
+    pub d_weight: Tensor,
+    /// Gradient w.r.t. the bias, `[F]`.
+    pub d_bias: Tensor,
+}
+
+/// 2-D convolution backward: given the upstream gradient `d_out`
+/// (`[N, F, H', W']`), computes the gradients w.r.t. input, weights and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    params: Conv2dParams,
+) -> Conv2dGrads {
+    let (n, c, h, w) = shape4(input);
+    let (f, _, k, _) = shape4(weight);
+    let (_, _, oh, ow) = shape4(d_out);
+    let mut d_input = Tensor::zeros(&[n, c, h, w]);
+    let mut d_weight = Tensor::zeros(weight.shape());
+    let mut d_bias = Tensor::zeros(&[f]);
+    for ni in 0..n {
+        for fi in 0..f {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = d_out.get(&[ni, fi, oy, ox]);
+                    d_bias.add_at(&[fi], g);
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * params.stride + ky;
+                                let ix = ox * params.stride + kx;
+                                if iy < params.padding || ix < params.padding {
+                                    continue;
+                                }
+                                let iy = iy - params.padding;
+                                let ix = ix - params.padding;
+                                if iy >= h || ix >= w {
+                                    continue;
+                                }
+                                d_input.add_at(
+                                    &[ni, ci, iy, ix],
+                                    g * weight.get(&[fi, ci, ky, kx]),
+                                );
+                                d_weight.add_at(
+                                    &[fi, ci, ky, kx],
+                                    g * input.get(&[ni, ci, iy, ix]),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Conv2dGrads { d_input, d_weight, d_bias }
+}
+
+/// Max-pooling forward over `k × k` windows with stride `k` (the common
+/// non-overlapping configuration). Returns the output and the argmax indices
+/// needed by the backward pass.
+pub fn maxpool2d_forward(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = shape4(input);
+    let oh = h / k;
+    let ow = w / k;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let mut oi = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * k + ky;
+                            let ix = ox * k + kx;
+                            let v = input.get(&[ni, ci, iy, ix]);
+                            if v > best {
+                                best = v;
+                                best_idx = ((ni * c + ci) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.set(&[ni, ci, oy, ox], best);
+                    argmax[oi] = best_idx;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Max-pooling backward: routes each upstream gradient to the argmax element.
+pub fn maxpool2d_backward(
+    input_shape: &[usize],
+    argmax: &[usize],
+    d_out: &Tensor,
+) -> Tensor {
+    let mut d_input = Tensor::zeros(input_shape);
+    for (g, &idx) in d_out.data().iter().zip(argmax.iter()) {
+        d_input.data_mut()[idx] += g;
+    }
+    d_input
+}
+
+/// ReLU forward.
+pub fn relu_forward(input: &Tensor) -> Tensor {
+    Tensor::from_vec(
+        input.shape(),
+        input.data().iter().map(|&v| v.max(0.0)).collect(),
+    )
+}
+
+/// ReLU backward: passes the gradient where the input was positive.
+pub fn relu_backward(input: &Tensor, d_out: &Tensor) -> Tensor {
+    assert_eq!(input.shape(), d_out.shape());
+    Tensor::from_vec(
+        input.shape(),
+        input
+            .data()
+            .iter()
+            .zip(d_out.data().iter())
+            .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+            .collect(),
+    )
+}
+
+/// Fully-connected forward: input `[N, In]`, weight `[In, Out]`, bias `[Out]`
+/// → output `[N, Out]`.
+pub fn linear_forward(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    let (n, d_in) = shape2(input);
+    let (w_in, d_out) = shape2(weight);
+    assert_eq!(d_in, w_in, "feature mismatch in linear layer");
+    assert_eq!(bias.shape(), &[d_out]);
+    let mut out = Tensor::zeros(&[n, d_out]);
+    for ni in 0..n {
+        for o in 0..d_out {
+            let mut acc = bias.get(&[o]);
+            for i in 0..d_in {
+                acc += input.get(&[ni, i]) * weight.get(&[i, o]);
+            }
+            out.set(&[ni, o], acc);
+        }
+    }
+    out
+}
+
+/// Gradients of the fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the input, `[N, In]`.
+    pub d_input: Tensor,
+    /// Gradient w.r.t. the weights, `[In, Out]`.
+    pub d_weight: Tensor,
+    /// Gradient w.r.t. the bias, `[Out]`.
+    pub d_bias: Tensor,
+}
+
+/// Fully-connected backward.
+pub fn linear_backward(input: &Tensor, weight: &Tensor, d_out: &Tensor) -> LinearGrads {
+    let (n, d_in) = shape2(input);
+    let (_, d_o) = shape2(weight);
+    let mut d_input = Tensor::zeros(&[n, d_in]);
+    let mut d_weight = Tensor::zeros(weight.shape());
+    let mut d_bias = Tensor::zeros(&[d_o]);
+    for ni in 0..n {
+        for o in 0..d_o {
+            let g = d_out.get(&[ni, o]);
+            d_bias.add_at(&[o], g);
+            for i in 0..d_in {
+                d_input.add_at(&[ni, i], g * weight.get(&[i, o]));
+                d_weight.add_at(&[i, o], g * input.get(&[ni, i]));
+            }
+        }
+    }
+    LinearGrads { d_input, d_weight, d_bias }
+}
+
+/// Softmax + cross-entropy loss over logits `[N, Classes]` with integer
+/// labels. Returns `(mean loss, gradient w.r.t. logits)`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, classes) = shape2(logits);
+    assert_eq!(labels.len(), n, "one label per sample required");
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(&[n, classes]);
+    for ni in 0..n {
+        let row: Vec<f32> = (0..classes).map(|c| logits.get(&[ni, c])).collect();
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let label = labels[ni];
+        assert!(label < classes, "label out of range");
+        loss -= (exps[label] / sum).ln();
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            let target = if c == label { 1.0 } else { 0.0 };
+            grad.set(&[ni, c], (p - target) / n as f32);
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// SGD update: `w ← w − lr · g`.
+pub fn sgd_step(weight: &mut Tensor, grad: &Tensor, lr: f32) {
+    weight.axpy(-lr, grad);
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = shape4(input);
+    let mut out = Tensor::zeros(&[n, c]);
+    let denom = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.get(&[ni, ci, y, x]);
+                }
+            }
+            out.set(&[ni, ci], acc / denom);
+        }
+    }
+    out
+}
+
+/// Global average pooling backward.
+pub fn global_avg_pool_backward(input_shape: &[usize], d_out: &Tensor) -> Tensor {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let mut d_input = Tensor::zeros(input_shape);
+    let denom = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = d_out.get(&[ni, ci]) / denom;
+            for y in 0..h {
+                for x in 0..w {
+                    d_input.set(&[ni, ci, y, x], g);
+                }
+            }
+        }
+    }
+    d_input
+}
+
+fn shape4(t: &Tensor) -> (usize, usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected a 4-D NCHW tensor, got {:?}", s);
+    (s[0], s[1], s[2], s[3])
+}
+
+fn shape2(t: &Tensor) -> (usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 2, "expected a 2-D tensor, got {:?}", s);
+    (s[0], s[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        // A 1x1 kernel with weight 1 and zero bias is the identity.
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let weight = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d_forward(&input, &weight, &bias, Conv2dParams::default());
+        assert!(out.approx_eq(&input, 1e-6));
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 2x2 input, 2x2 kernel of ones, no padding: output = sum of inputs.
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0; 4]);
+        let bias = Tensor::from_vec(&[1], vec![0.5]);
+        let out = conv2d_forward(&input, &weight, &bias, Conv2dParams::default());
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert!((out.get(&[0, 0, 0, 0]) - 10.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv_padding_and_stride_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = Tensor::random(&[2, 3, 8, 8], 1.0, &mut rng);
+        let weight = Tensor::random(&[4, 3, 3, 3], 0.5, &mut rng);
+        let bias = Tensor::zeros(&[4]);
+        let same = conv2d_forward(&input, &weight, &bias, Conv2dParams { stride: 1, padding: 1 });
+        assert_eq!(same.shape(), &[2, 4, 8, 8]);
+        let strided =
+            conv2d_forward(&input, &weight, &bias, Conv2dParams { stride: 2, padding: 1 });
+        assert_eq!(strided.shape(), &[2, 4, 4, 4]);
+    }
+
+    /// Numerical gradient check of the convolution backward pass.
+    #[test]
+    fn conv_backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = Tensor::random(&[1, 2, 4, 4], 1.0, &mut rng);
+        let weight = Tensor::random(&[3, 2, 3, 3], 0.5, &mut rng);
+        let bias = Tensor::random(&[3], 0.5, &mut rng);
+        let params = Conv2dParams { stride: 1, padding: 1 };
+        let out = conv2d_forward(&input, &weight, &bias, params);
+        // Loss = sum of outputs, so d_out is all ones.
+        let d_out = Tensor::full(out.shape(), 1.0);
+        let grads = conv2d_backward(&input, &weight, &d_out, params);
+        let eps = 1e-2f32;
+        // Check a few weight coordinates.
+        for &idx in &[0usize, 5, 17, 33] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let up = conv2d_forward(&input, &wp, &bias, params).sum();
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let down = conv2d_forward(&input, &wm, &bias, params).sum();
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grads.d_weight.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "weight grad mismatch at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check a few input coordinates.
+        for &idx in &[0usize, 7, 15] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let up = conv2d_forward(&ip, &weight, &bias, params).sum();
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let down = conv2d_forward(&im, &weight, &bias, params).sum();
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grads.d_input.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "input grad mismatch at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::random(&[1, 2, 5, 5], 1.0, &mut rng);
+        let b = Tensor::random(&[1, 2, 5, 5], 1.0, &mut rng);
+        let weight = Tensor::random(&[2, 2, 3, 3], 0.5, &mut rng);
+        let zero_bias = Tensor::zeros(&[2]);
+        let params = Conv2dParams { stride: 1, padding: 1 };
+        let lhs = conv2d_forward(&a.add(&b), &weight, &zero_bias, params);
+        let rhs = conv2d_forward(&a, &weight, &zero_bias, params)
+            .add(&conv2d_forward(&b, &weight, &zero_bias, params));
+        assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let (out, argmax) = maxpool2d_forward(&input, 2);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, 12.0, 16.0]);
+        let d_out = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let d_in = maxpool2d_backward(input.shape(), &argmax, &d_out);
+        // Gradient flows only to the four max positions.
+        assert_eq!(d_in.sum(), 4.0);
+        assert_eq!(d_in.get(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(d_in.get(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu_forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor::full(&[4], 1.0);
+        let dx = relu_backward(&x, &g);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_forward_matches_hand_calculation() {
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3], vec![0.1, 0.2, 0.3]);
+        let y = linear_forward(&x, &w, &b);
+        assert_eq!(y.shape(), &[1, 3]);
+        assert!((y.get(&[0, 0]) - 9.1).abs() < 1e-6);
+        assert!((y.get(&[0, 1]) - 12.2).abs() < 1e-6);
+        assert!((y.get(&[0, 2]) - 15.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::random(&[3, 4], 1.0, &mut rng);
+        let w = Tensor::random(&[4, 5], 0.5, &mut rng);
+        let b = Tensor::random(&[5], 0.5, &mut rng);
+        let d_out = Tensor::full(&[3, 5], 1.0);
+        let grads = linear_backward(&x, &w, &d_out);
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 19] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let up = linear_forward(&x, &wp, &b).sum();
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let down = linear_forward(&x, &wm, &b).sum();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - grads.d_weight.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_sums_to_zero_per_sample() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let logits = Tensor::random(&[4, 6], 2.0, &mut rng);
+        let labels = vec![0usize, 3, 5, 2];
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        assert!(loss > 0.0);
+        for ni in 0..4 {
+            let row_sum: f32 = (0..6).map(|c| grad.get(&[ni, c])).sum();
+            assert!(row_sum.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_small_loss() {
+        let mut logits = Tensor::zeros(&[2, 3]);
+        logits.set(&[0, 1], 100.0);
+        logits.set(&[1, 2], 100.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut w = Tensor::from_vec(&[2], vec![1.0, -1.0]);
+        let g = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        sgd_step(&mut w, &g, 0.1);
+        assert!((w.get(&[0]) - 0.95).abs() < 1e-6);
+        assert!((w.get(&[1]) + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let out = global_avg_pool_forward(&input);
+        assert_eq!(out.shape(), &[1, 2]);
+        assert!((out.get(&[0, 0]) - 2.5).abs() < 1e-6);
+        assert!((out.get(&[0, 1]) - 6.5).abs() < 1e-6);
+        let d_out = Tensor::full(&[1, 2], 4.0);
+        let d_in = global_avg_pool_backward(input.shape(), &d_out);
+        assert!((d_in.get(&[0, 0, 0, 0]) - 1.0).abs() < 1e-6);
+        assert!((d_in.sum() - 8.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,303 @@
+//! A minimal dense CPU tensor: row-major `f32` storage with an arbitrary
+//! number of dimensions, supporting the indexing, slicing-by-axis and
+//! element-wise arithmetic the CNN layers and the parallel decompositions
+//! need. Deliberately simple — correctness and clarity over speed — since its
+//! job is to be the reference against which the parallel strategies are
+//! verified value-by-value (paper §4.5.2).
+
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, len={})", self.shape, self.data.len())
+    }
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+    }
+
+    /// Creates a tensor from raw row-major data; `data.len()` must equal the
+    /// product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data length mismatch"
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Creates a tensor with uniformly distributed values in `[-scale, scale]`
+    /// from the given RNG.
+    pub fn random<R: rand::Rng>(shape: &[usize], scale: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape must preserve element count"
+        );
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (i, (&x, &dim)) in idx.iter().zip(self.shape.iter()).enumerate() {
+            assert!(x < dim, "index {x} out of bounds for dim {i} (size {dim})");
+            off = off * dim + x;
+        }
+        off
+    }
+
+    /// Element access by multi-dimensional index.
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element access by multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Adds `value` to the element at `idx`.
+    pub fn add_at(&mut self, idx: &[usize], value: f32) {
+        let off = self.offset(idx);
+        self.data[off] += value;
+    }
+
+    /// Element-wise sum with another tensor of identical shape.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// In-place element-wise accumulation.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise scaling by a constant.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|a| a * factor).collect(),
+        }
+    }
+
+    /// In-place `self -= factor * other` (the SGD update).
+    pub fn axpy(&mut self, factor: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += factor * b;
+        }
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether all elements are within `tol` of the other tensor's.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+
+    /// Extracts the sub-tensor `[start, start+len)` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.shape.len(), "axis out of range");
+        assert!(start + len <= self.shape[axis], "slice out of range");
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = len;
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = (o * self.shape[axis] + start) * inner;
+            data.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Concatenates tensors along `axis`; all other dimensions must match.
+    pub fn concat_axis(parts: &[Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "cannot concatenate zero tensors");
+        let rank = parts[0].shape.len();
+        assert!(axis < rank, "axis out of range");
+        for p in parts {
+            assert_eq!(p.shape.len(), rank, "rank mismatch in concat");
+            for d in 0..rank {
+                if d != axis {
+                    assert_eq!(p.shape[d], parts[0].shape[d], "dim {d} mismatch in concat");
+                }
+            }
+        }
+        let mut out_shape = parts[0].shape.clone();
+        out_shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
+        let outer: usize = out_shape[..axis].iter().product();
+        let inner: usize = out_shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_shape.iter().product());
+        for o in 0..outer {
+            for p in parts {
+                let plen = p.shape[axis] * inner;
+                let base = o * plen;
+                data.extend_from_slice(&p.data[base..base + plen]);
+            }
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+        assert_eq!(t.get(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn set_and_add_at() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 1], 3.0);
+        t.add_at(&[1, 1], 2.0);
+        assert_eq!(t.get(&[1, 1]), 5.0);
+        assert_eq!(t.sum(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        let mut c = a.clone();
+        c.axpy(-0.5, &b);
+        assert_eq!(c.data(), &[-4.0, -8.0, -12.0]);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip_axis0() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::random(&[4, 3, 5], 1.0, &mut rng);
+        let a = t.slice_axis(0, 0, 2);
+        let b = t.slice_axis(0, 2, 2);
+        let back = Tensor::concat_axis(&[a, b], 0);
+        assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip_axis1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::random(&[2, 6, 3], 1.0, &mut rng);
+        let parts: Vec<Tensor> = (0..3).map(|i| t.slice_axis(1, i * 2, 2)).collect();
+        let back = Tensor::concat_axis(&parts, 1);
+        assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn slice_axis_extracts_correct_values() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = t.slice_axis(1, 1, 2);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![1.0, 2.5]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(a.approx_eq(&b, 0.6));
+        assert!(!a.approx_eq(&b, 0.4));
+    }
+}
