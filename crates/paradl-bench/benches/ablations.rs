@@ -13,9 +13,8 @@ fn ablation_ring_vs_tree(c: &mut Criterion) {
     let link = LinkParams::infiniband_edr();
     println!("\n[ablation] ring vs tree Allreduce crossover (64 PEs):");
     for bytes in [4e3, 64e3, 1e6, 16e6, 256e6] {
-        let ring = CommModel::new(link)
-            .with_algorithm(CollectiveAlgorithm::Ring)
-            .allreduce(64, bytes);
+        let ring =
+            CommModel::new(link).with_algorithm(CollectiveAlgorithm::Ring).allreduce(64, bytes);
         let tree = CommModel::new(link)
             .with_algorithm(CollectiveAlgorithm::Tree { chunks: 4 })
             .allreduce(64, bytes);
@@ -70,13 +69,8 @@ fn ablation_gamma_and_segments(c: &mut Criterion) {
     let config = TrainingConfig::imagenet(64);
     println!("\n[ablation] pipeline segments S (VGG16, 4 stages):");
     for s in [1usize, 2, 4, 8, 16] {
-        let est = estimate(
-            &model,
-            &device,
-            &cluster,
-            &config,
-            Strategy::Pipeline { p: 4, segments: s },
-        );
+        let est =
+            estimate(&model, &device, &cluster, &config, Strategy::Pipeline { p: 4, segments: s });
         println!("  S = {s}: {:.3} s per iteration", est.per_iteration().total());
     }
     c.bench_function("ablation/pipeline_estimate", |b| {

@@ -17,14 +17,8 @@ fn bench_simulated_strategies(c: &mut Criterion) {
     let cases = [
         ("simulator/resnet50_data_64", Strategy::Data { p: 64 }),
         ("simulator/resnet50_filter_16", Strategy::Filter { p: 16 }),
-        (
-            "simulator/resnet50_data_filter_64",
-            Strategy::DataFilter { p1: 16, p2: 4 },
-        ),
-        (
-            "simulator/resnet50_pipeline_4x8",
-            Strategy::Pipeline { p: 4, segments: 8 },
-        ),
+        ("simulator/resnet50_data_filter_64", Strategy::DataFilter { p1: 16, p2: 4 }),
+        ("simulator/resnet50_pipeline_4x8", Strategy::Pipeline { p: 4, segments: 8 }),
     ];
     for (name, strategy) in cases {
         c.bench_function(name, |b| {

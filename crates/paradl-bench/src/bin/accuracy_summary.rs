@@ -27,12 +27,8 @@ fn main() {
                 if strategy.validate(&model, batch).is_err() {
                     continue;
                 }
-                let point =
-                    compare(&model, &device, &cluster, &config, strategy, overheads, 2);
-                per_strategy
-                    .entry(kind.to_string())
-                    .or_default()
-                    .push(point.accuracy());
+                let point = compare(&model, &device, &cluster, &config, strategy, overheads, 2);
+                per_strategy.entry(kind.to_string()).or_default().push(point.accuracy());
             }
         }
     }
@@ -43,13 +39,7 @@ fn main() {
     for (name, accs) in &per_strategy {
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
         let max = accs.iter().cloned().fold(0.0, f64::max);
-        println!(
-            "{:<16} {:>8} {:>9.1}% {:>9.1}%",
-            name,
-            accs.len(),
-            mean * 100.0,
-            max * 100.0
-        );
+        println!("{:<16} {:>8} {:>9.1}% {:>9.1}%", name, accs.len(), mean * 100.0, max * 100.0);
         all.extend_from_slice(accs);
     }
     let overall = all.iter().sum::<f64>() / all.len().max(1) as f64;

@@ -41,8 +41,7 @@ fn main() {
                 if strategy.validate(&model, batch).is_err() {
                     continue;
                 }
-                let point =
-                    compare(&model, &device, &cluster, &config, strategy, overheads, 2);
+                let point = compare(&model, &device, &cluster, &config, strategy, overheads, 2);
                 print_comparison_row(&model.name, &point);
                 accuracies.push((kind, point.accuracy()));
             }
@@ -52,11 +51,8 @@ fn main() {
 
     println!("Per-strategy average accuracy (paper reports 96.1% d, 85.6% f, 73.7% c, 90.2% p, 91.4% df, 83.5% ds):");
     for kind in StrategyKind::EVALUATED {
-        let vals: Vec<f64> = accuracies
-            .iter()
-            .filter(|(k, _)| *k == kind)
-            .map(|(_, a)| *a)
-            .collect();
+        let vals: Vec<f64> =
+            accuracies.iter().filter(|(k, _)| *k == kind).map(|(_, a)| *a).collect();
         if !vals.is_empty() {
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             println!("  {:<14} {:>5.1}%", kind.to_string(), mean * 100.0);
@@ -64,8 +60,5 @@ fn main() {
     }
     let overall: f64 =
         accuracies.iter().map(|(_, a)| *a).sum::<f64>() / accuracies.len().max(1) as f64;
-    println!(
-        "\nOverall average accuracy: {:.1}%  (paper: 86.74%)",
-        overall * 100.0
-    );
+    println!("\nOverall average accuracy: {:.1}%  (paper: 86.74%)", overall * 100.0);
 }

@@ -42,8 +42,5 @@ fn main() {
         accs.push(point.accuracy());
     }
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-    println!(
-        "\nAverage CosmoFlow accuracy: {:.1}%  (paper: 74.14%)",
-        mean * 100.0
-    );
+    println!("\nAverage CosmoFlow accuracy: {:.1}%  (paper: 74.14%)", mean * 100.0);
 }

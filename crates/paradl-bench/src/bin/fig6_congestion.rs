@@ -18,17 +18,11 @@ fn scatter(
     runs: usize,
 ) {
     println!("{label}: message {:.1} MB over {} GPUs", bytes / 1e6, ranks.len());
-    println!(
-        "{:>5} {:>16} {:>16} {:>8}",
-        "run", "analytic (ms)", "measured (ms)", "ratio"
-    );
+    println!("{:>5} {:>16} {:>16} {:>8}", "run", "analytic (ms)", "measured (ms)", "ratio");
     let mut sampler = OverheadSampler::new(OverheadModel::chainermnx(), 0xF16);
     for run in 0..runs {
-        let schedule = if allgather {
-            ring_allgather(ranks, bytes)
-        } else {
-            ring_allreduce(ranks, bytes)
-        };
+        let schedule =
+            if allgather { ring_allgather(ranks, bytes) } else { ring_allreduce(ranks, bytes) };
         let base = schedule_time(topo, &schedule);
         let measured = base * sampler.congestion_multiplier();
         println!(
@@ -71,15 +65,7 @@ fn main() {
     let topo = FatTree::paper_system(p);
     let ranks: Vec<usize> = (0..p).collect();
     let analytic = cluster.comm_model(p).allgather(p, act);
-    scatter(
-        "VGG16, 64 GPUs, filter-parallel Allgather",
-        &topo,
-        &ranks,
-        act,
-        analytic,
-        true,
-        12,
-    );
+    scatter("VGG16, 64 GPUs, filter-parallel Allgather", &topo, &ranks, act, analytic, true, 12);
 
     println!("Points near ratio 1.0 follow the theoretical bandwidth line; congested runs");
     println!("reach up to ~4x, matching the outliers the paper observes on the shared system.");

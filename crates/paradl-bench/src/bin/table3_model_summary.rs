@@ -24,10 +24,7 @@ fn main() {
     let strategies = [
         (Strategy::Serial, StrategyKind::Serial),
         (Strategy::Data { p }, StrategyKind::Data),
-        (
-            Strategy::Spatial { split: SpatialSplit::balanced_2d(p) },
-            StrategyKind::Spatial,
-        ),
+        (Strategy::Spatial { split: SpatialSplit::balanced_2d(p) }, StrategyKind::Spatial),
         (Strategy::Pipeline { p: 4, segments: 8 }, StrategyKind::Pipeline),
         (Strategy::Filter { p }, StrategyKind::Filter),
         (Strategy::Channel { p }, StrategyKind::Channel),

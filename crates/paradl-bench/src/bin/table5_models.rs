@@ -13,11 +13,7 @@ fn main() {
     let cosmo = DatasetSpec::cosmoflow();
     for model in paradl_models::paper_models() {
         let (ds_name, samples, shape) = if model.name.starts_with("CosmoFlow") {
-            (
-                cosmo.name.clone(),
-                cosmo.samples,
-                format!("{}x{:?}", cosmo.channels, cosmo.spatial),
-            )
+            (cosmo.name.clone(), cosmo.samples, format!("{}x{:?}", cosmo.channels, cosmo.spatial))
         } else {
             (
                 imagenet.name.clone(),

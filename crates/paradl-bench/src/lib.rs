@@ -45,9 +45,7 @@ pub fn compare(
     samples: usize,
 ) -> ComparisonPoint {
     let projected = estimate(model, device, cluster, config, strategy);
-    let simulator = Simulator::new(device, cluster)
-        .with_overheads(overheads)
-        .with_samples(samples);
+    let simulator = Simulator::new(device, cluster).with_overheads(overheads).with_samples(samples);
     let measured = simulator.simulate(model, config, strategy);
     ComparisonPoint {
         pes: strategy.total_pes(),

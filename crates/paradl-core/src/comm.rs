@@ -21,10 +21,7 @@ impl LinkParams {
     /// Builds link parameters from a latency in microseconds and a bandwidth
     /// in GB/s — the units vendors quote.
     pub fn from_latency_bandwidth(latency_us: f64, bandwidth_gbps: f64) -> Self {
-        LinkParams {
-            alpha: latency_us * 1e-6,
-            beta: 1.0 / (bandwidth_gbps * 1e9),
-        }
+        LinkParams { alpha: latency_us * 1e-6, beta: 1.0 / (bandwidth_gbps * 1e9) }
     }
 
     /// NVLink-class intra-node link (paper system: 20 GB/s NVLink).
@@ -55,10 +52,7 @@ impl LinkParams {
 
     /// Returns a copy with the bandwidth divided by the contention factor φ.
     pub fn with_contention(&self, phi: f64) -> Self {
-        LinkParams {
-            alpha: self.alpha,
-            beta: self.beta * phi.max(1.0),
-        }
+        LinkParams { alpha: self.alpha, beta: self.beta * phi.max(1.0) }
     }
 }
 
@@ -298,8 +292,6 @@ mod tests {
     #[test]
     fn link_presets_are_sane() {
         assert!(LinkParams::nvlink().beta < LinkParams::infiniband_edr().beta);
-        assert!(
-            LinkParams::infiniband_oversubscribed().beta > LinkParams::infiniband_edr().beta
-        );
+        assert!(LinkParams::infiniband_oversubscribed().beta > LinkParams::infiniband_edr().beta);
     }
 }

@@ -80,7 +80,7 @@ impl TrainingConfig {
                 self.batch_size, self.dataset_size
             ));
         }
-        if !(self.bytes_per_item > 0.0) {
+        if self.bytes_per_item.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("bytes per item must be positive".into());
         }
         if !(self.memory_reuse > 0.0 && self.memory_reuse <= 1.0) {

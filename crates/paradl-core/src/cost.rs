@@ -115,16 +115,9 @@ struct ComputeSums {
 }
 
 fn compute_sums<C: ComputeModel + ?Sized>(model: &Model, device: &C) -> ComputeSums {
-    let fw_bw_per_sample: f64 = model
-        .layers
-        .iter()
-        .map(|l| device.forward_time(l) + device.backward_time(l))
-        .sum();
-    let wu_per_iteration: f64 = model
-        .layers
-        .iter()
-        .map(|l| device.weight_update_time(l))
-        .sum();
+    let fw_bw_per_sample: f64 =
+        model.layers.iter().map(|l| device.forward_time(l) + device.backward_time(l)).sum();
+    let wu_per_iteration: f64 = model.layers.iter().map(|l| device.weight_update_time(l)).sum();
     ComputeSums { fw_bw_per_sample, wu_per_iteration }
 }
 
@@ -138,6 +131,21 @@ pub fn estimate<C: ComputeModel + ?Sized>(
     cluster: &ClusterSpec,
     config: &TrainingConfig,
     strategy: Strategy,
+) -> CostEstimate {
+    let memory_per_pe_bytes = memory::memory_per_pe(model, config, strategy);
+    estimate_with_memory(model, device, cluster, config, strategy, memory_per_pe_bytes)
+}
+
+/// Like [`estimate`], but reuses a per-PE memory value the caller already
+/// computed (the search prunes on memory before costing, so recomputing it
+/// here would double the memory-model work on the search hot path).
+pub(crate) fn estimate_with_memory<C: ComputeModel + ?Sized>(
+    model: &Model,
+    device: &C,
+    cluster: &ClusterSpec,
+    config: &TrainingConfig,
+    strategy: Strategy,
+    memory_per_pe_bytes: f64,
 ) -> CostEstimate {
     let d = config.dataset_size as f64;
     let b = config.batch_size as f64;
@@ -187,18 +195,12 @@ pub fn estimate<C: ComputeModel + ?Sized>(
             let mut max_wu = 0f64;
             let mut boundary_act: Vec<f64> = Vec::new();
             for (gi, range) in groups.iter().enumerate() {
-                let fw: f64 = model.layers[range.clone()]
-                    .iter()
-                    .map(|l| device.forward_time(l))
-                    .sum();
-                let bw: f64 = model.layers[range.clone()]
-                    .iter()
-                    .map(|l| device.backward_time(l))
-                    .sum();
-                let wu: f64 = model.layers[range.clone()]
-                    .iter()
-                    .map(|l| device.weight_update_time(l))
-                    .sum();
+                let fw: f64 =
+                    model.layers[range.clone()].iter().map(|l| device.forward_time(l)).sum();
+                let bw: f64 =
+                    model.layers[range.clone()].iter().map(|l| device.backward_time(l)).sum();
+                let wu: f64 =
+                    model.layers[range.clone()].iter().map(|l| device.weight_update_time(l)).sum();
                 max_fw = max_fw.max(fw);
                 max_bw = max_bw.max(bw);
                 max_wu = max_wu.max(wu);
@@ -211,10 +213,8 @@ pub fn estimate<C: ComputeModel + ?Sized>(
             breakdown.weight_update = iters * max_wu;
             // P2P communication: 2·D(p+S−2)/B · max(α + (B/S)|y_Gi|δβ).
             let comm = cluster.comm_model(p.min(cluster.gpus_per_node.max(2)));
-            let max_p2p = boundary_act
-                .iter()
-                .map(|&a| comm.p2p(b / s * a * delta))
-                .fold(0.0f64, f64::max);
+            let max_p2p =
+                boundary_act.iter().map(|&a| comm.p2p(b / s * a * delta)).fold(0.0f64, f64::max);
             if p > 1 {
                 breakdown.pipeline_p2p = 2.0 * d * (pf + s - 2.0) / b * max_p2p;
             }
@@ -250,12 +250,10 @@ pub fn estimate<C: ComputeModel + ?Sized>(
             // Hierarchical gradient exchange: local reduce to a leader, global
             // Allreduce among the p1 leaders, local broadcast (§4.5.1 / §5.3.1).
             let inter = cluster.comm_model_inter_group(p1, p2);
-            breakdown.gradient_exchange = iters
-                * hierarchical_allreduce_time(&intra, &inter, p2, p1, total_weight_bytes);
+            breakdown.gradient_exchange =
+                iters * hierarchical_allreduce_time(&intra, &inter, p2, p1, total_weight_bytes);
         }
     }
-
-    let memory_per_pe_bytes = memory::memory_per_pe(model, config, strategy);
 
     CostEstimate {
         strategy,
@@ -268,13 +266,7 @@ pub fn estimate<C: ComputeModel + ?Sized>(
 /// Halo-exchange time for one iteration (paper Eq. 10):
 /// `Σ_l (2α + B(halo(x_l) + halo(dL/dy_l))·δ·β)`, doubled for the forward and
 /// backward passes.
-fn halo_time(
-    model: &Model,
-    comm: &CommModel,
-    split: &SpatialSplit,
-    batch: f64,
-    delta: f64,
-) -> f64 {
+fn halo_time(model: &Model, comm: &CommModel, split: &SpatialSplit, batch: f64, delta: f64) -> f64 {
     let mut t = 0.0;
     for l in &model.layers {
         let factors = split.factors(l.spatial_dims());
@@ -405,9 +397,7 @@ mod tests {
         let ratio = serial.per_epoch.forward_backward / data.per_epoch.forward_backward;
         assert!((ratio - 8.0).abs() < 1e-9);
         // Weight update is replicated, not divided.
-        assert!(
-            (serial.per_epoch.weight_update - data.per_epoch.weight_update).abs() < 1e-12
-        );
+        assert!((serial.per_epoch.weight_update - data.per_epoch.weight_update).abs() < 1e-12);
         assert!(data.per_epoch.gradient_exchange > 0.0);
     }
 
@@ -451,13 +441,8 @@ mod tests {
     #[test]
     fn spatial_has_halo_and_gradient_exchange() {
         let (m, d, c, cfg) = setup();
-        let s = estimate(
-            &m,
-            &d,
-            &c,
-            &cfg,
-            Strategy::Spatial { split: SpatialSplit::balanced_2d(4) },
-        );
+        let s =
+            estimate(&m, &d, &c, &cfg, Strategy::Spatial { split: SpatialSplit::balanced_2d(4) });
         assert!(s.per_epoch.halo_exchange > 0.0);
         assert!(s.per_epoch.gradient_exchange > 0.0);
         assert_eq!(s.per_epoch.fb_collective, 0.0);
@@ -519,9 +504,7 @@ mod tests {
         let (m, d, c, cfg) = setup();
         let e = estimate(&m, &d, &c, &cfg, Strategy::Data { p: 8 });
         let per_iter = e.per_iteration();
-        assert!(
-            (per_iter.total() * e.iterations as f64 - e.per_epoch.total()).abs() < 1e-9
-        );
+        assert!((per_iter.total() * e.iterations as f64 - e.per_epoch.total()).abs() < 1e-9);
     }
 
     #[test]

@@ -41,10 +41,7 @@ impl LayerKind {
     /// Whether the layer carries learnable weights that participate in the
     /// gradient exchange.
     pub fn has_weights(self) -> bool {
-        matches!(
-            self,
-            LayerKind::Conv | LayerKind::FullyConnected | LayerKind::BatchNorm
-        )
+        matches!(self, LayerKind::Conv | LayerKind::FullyConnected | LayerKind::BatchNorm)
     }
 
     /// Whether the layer is a convolution-like operator whose filters can be
@@ -423,10 +420,10 @@ impl Layer {
         if self.in_channels == 0 || self.out_channels == 0 {
             return Err(format!("layer {}: zero channel count", self.name));
         }
-        if self.in_spatial.iter().any(|&x| x == 0) {
+        if self.in_spatial.contains(&0) {
             return Err(format!("layer {}: zero spatial extent", self.name));
         }
-        if self.stride.iter().any(|&s| s == 0) {
+        if self.stride.contains(&0) {
             return Err(format!("layer {}: zero stride", self.name));
         }
         Ok(())
@@ -498,6 +495,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // the 1 spells out the K/2 halo-width factor
     fn halo_size_for_spatial_split() {
         // Split W into 2 parts: halo = C * (K/2) * H per boundary-facing side.
         let l = Layer::conv2d("c", 3, 64, (224, 224), 3, 1, 1);

@@ -55,6 +55,7 @@ pub mod memory;
 pub mod model;
 pub mod oracle;
 pub mod scaling;
+pub mod search;
 pub mod strategy;
 
 /// Convenient re-exports of the most commonly used types.
@@ -72,5 +73,6 @@ pub mod prelude {
         breakdown_accuracy, projection_accuracy, Constraints, Oracle, Projection,
     };
     pub use crate::scaling::{powers_of_two, speedup_over, sweep, ScalingMode, SweepPoint};
+    pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};
     pub use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
 }

@@ -56,16 +56,8 @@ impl fmt::Display for Issue {
             IssueClass::Limitation => "L",
             IssueClass::Bottleneck => "B",
         };
-        let strategies: Vec<String> =
-            self.strategies.iter().map(|s| s.to_string()).collect();
-        write!(
-            f,
-            "{:<14} {} {:<22} [{}]",
-            self.category,
-            class,
-            self.remark,
-            strategies.join(", ")
-        )
+        let strategies: Vec<String> = self.strategies.iter().map(|s| s.to_string()).collect();
+        write!(f, "{:<14} {} {:<22} [{}]", self.category, class, self.remark, strategies.join(", "))
     }
 }
 
@@ -272,9 +264,7 @@ mod tests {
         let est = estimate(&model, &device, &cluster, &cfg, Strategy::Filter { p: 32 });
         let diag = diagnose_default(&est);
         assert!(
-            diag.findings
-                .iter()
-                .any(|(name, _)| name.contains("layer-wise")),
+            diag.findings.iter().any(|(name, _)| name.contains("layer-wise")),
             "filter parallelism at scale should be flagged as comm-bound: {:?}",
             diag.findings
         );
@@ -282,12 +272,8 @@ mod tests {
 
     #[test]
     fn diagnose_flags_memory_overrun() {
-        let model = Model::new(
-            "m",
-            3,
-            vec![64, 64],
-            vec![Layer::conv2d("c1", 3, 64, (64, 64), 3, 1, 1)],
-        );
+        let model =
+            Model::new("m", 3, vec![64, 64], vec![Layer::conv2d("c1", 3, 64, (64, 64), 3, 1, 1)]);
         let device = DeviceProfile::v100();
         let cluster = ClusterSpec::paper_system();
         let cfg = TrainingConfig::small(8192, 64);

@@ -60,9 +60,7 @@ pub fn memory_per_pe(model: &Model, config: &TrainingConfig, strategy: Strategy)
         Strategy::DataFilter { p1, p2 } => per_layer(p1 as f64, p2 as f64, b),
         // M_ds: activations split by p = p1·p2 (batch by p1, spatial by p2),
         // full weights.
-        Strategy::DataSpatial { p1, split } => {
-            per_layer((p1 * split.total()) as f64, 1.0, b)
-        }
+        Strategy::DataSpatial { p1, split } => per_layer((p1 * split.total()) as f64, 1.0, b),
     };
 
     gamma * delta * raw
@@ -137,11 +135,7 @@ mod tests {
         let m = model();
         let c = cfg();
         let serial = memory_per_pe(&m, &c, Strategy::Serial);
-        let s = memory_per_pe(
-            &m,
-            &c,
-            Strategy::Spatial { split: SpatialSplit::balanced_2d(16) },
-        );
+        let s = memory_per_pe(&m, &c, Strategy::Spatial { split: SpatialSplit::balanced_2d(16) });
         assert!(s < serial / 4.0);
     }
 

@@ -26,12 +26,7 @@ impl Model {
         input_spatial: Vec<usize>,
         layers: Vec<Layer>,
     ) -> Self {
-        Model {
-            name: name.into(),
-            input_channels,
-            input_spatial,
-            layers,
-        }
+        Model { name: name.into(), input_channels, input_spatial, layers }
     }
 
     /// Number of layers `G`.
@@ -117,6 +112,24 @@ impl Model {
             .unwrap_or(1)
     }
 
+    /// Per-dimension minimum spatial extents over the conv/pool layers, in
+    /// the same dimension order as [`Model::input_spatial`]. Bounds each
+    /// factor of a spatial split: splitting a dimension into more parts than
+    /// its smallest extent is physically impossible. Falls back to
+    /// `input_spatial` when the model has no conv/pool layers.
+    pub fn min_spatial_extents(&self) -> Vec<usize> {
+        let rank = self.input_spatial.len();
+        let mut mins = self.input_spatial.clone();
+        for layer in
+            self.layers.iter().filter(|l| matches!(l.kind, LayerKind::Conv | LayerKind::Pool))
+        {
+            for (dim, &extent) in layer.in_spatial.iter().take(rank).enumerate() {
+                mins[dim] = mins[dim].min(extent);
+            }
+        }
+        mins
+    }
+
     /// Layers that carry weights (participate in gradient exchange).
     pub fn weighted_layers(&self) -> impl Iterator<Item = &Layer> {
         self.layers.iter().filter(|l| l.kind.has_weights())
@@ -130,8 +143,7 @@ impl Model {
             return Err(format!("model {}: no layers", self.name));
         }
         for l in &self.layers {
-            l.validate()
-                .map_err(|e| format!("model {}: {e}", self.name))?;
+            l.validate().map_err(|e| format!("model {}: {e}", self.name))?;
         }
         Ok(())
     }
@@ -142,11 +154,7 @@ impl Model {
     pub fn balanced_pipeline_groups(&self, p: usize) -> Vec<std::ops::Range<usize>> {
         assert!(p >= 1);
         let p = p.min(self.layers.len());
-        let total: u64 = self
-            .layers
-            .iter()
-            .map(|l| l.flops_forward() + l.flops_backward())
-            .sum();
+        let total: u64 = self.layers.iter().map(|l| l.flops_forward() + l.flops_backward()).sum();
         let target = total as f64 / p as f64;
         let mut groups = Vec::with_capacity(p);
         let mut start = 0usize;
@@ -157,8 +165,7 @@ impl Model {
             let remaining_layers = self.layers.len() - i - 1;
             // Close the group when we reach the target, but always leave at
             // least one layer per remaining group.
-            if groups.len() < p - 1
-                && (acc >= target || remaining_layers < (remaining_groups - 1))
+            if groups.len() < p - 1 && (acc >= target || remaining_layers < (remaining_groups - 1))
             {
                 groups.push(start..i + 1);
                 start = i + 1;
@@ -186,11 +193,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // zeros spell out the parameter-free layers
     fn aggregate_counts() {
         let m = tiny_model();
         assert_eq!(m.num_layers(), 6);
-        let expected_params =
-            (3 * 8 * 9 + 8) + 0 + 0 + (8 * 16 * 9 + 16) + 0 + (16 * 10 + 10);
+        let expected_params = (3 * 8 * 9 + 8) + 0 + 0 + (8 * 16 * 9 + 16) + 0 + (16 * 10 + 10);
         assert_eq!(m.total_params(), expected_params);
         assert!(m.total_activations() > 0);
         assert!(m.validate().is_ok());

@@ -14,6 +14,8 @@ use crate::memory;
 use crate::model::Model;
 use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
 
+pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};
+
 /// User constraints for the strategy search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Constraints {
@@ -151,8 +153,8 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
     pub fn suggest(&self, constraints: &Constraints) -> Option<Projection> {
         let mut best: Option<Projection> = None;
         for &kind in &StrategyKind::EVALUATED {
-            let max_p =
-                Strategy::max_pes(self.model, self.config.batch_size, kind).min(constraints.max_pes);
+            let max_p = Strategy::max_pes(self.model, self.config.batch_size, kind)
+                .min(constraints.max_pes);
             // Evaluate at powers of two up to the limit (the paper's sweep).
             let mut p = 1usize;
             while p <= max_p {

@@ -65,13 +65,7 @@ pub fn sweep<C: ComputeModel + ?Sized>(
         let proj = oracle.project_with(strategy, &config);
         let feasible = proj.cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes
             && strategy.validate(oracle.model, batch).is_ok();
-        points.push(SweepPoint {
-            pes: p,
-            batch_size: batch,
-            strategy,
-            cost: proj.cost,
-            feasible,
-        });
+        points.push(SweepPoint { pes: p, batch_size: batch, strategy, cost: proj.cost, feasible });
     }
     points
 }
@@ -91,10 +85,7 @@ pub fn powers_of_two(lo: usize, hi: usize) -> Vec<usize> {
 /// sweep (used by Figure 5: spatial+data speedup over pure spatial).
 pub fn speedup_over(points: &[SweepPoint], baseline: &SweepPoint) -> Vec<(usize, f64)> {
     let base = baseline.cost.epoch_time();
-    points
-        .iter()
-        .map(|pt| (pt.pes, base / pt.cost.epoch_time().max(f64::MIN_POSITIVE)))
-        .collect()
+    points.iter().map(|pt| (pt.pes, base / pt.cost.epoch_time().max(f64::MIN_POSITIVE))).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,541 @@
+//! Exhaustive, parallel strategy search (the oracle's "suggest the best
+//! strategy" role, paper §4.1, scaled up from a powers-of-two sweep of each
+//! family to the full candidate space).
+//!
+//! [`StrategySpace`] enumerates every concrete strategy candidate that
+//! respects the user's [`Constraints`] and the model's scaling limits
+//! (Table 3): data, spatial (with every divisibility-based
+//! [`SpatialSplit`] factorization), filter, channel, pipeline (crossed with
+//! the micro-batch segment counts) and the data+filter / data+spatial
+//! hybrids. [`Oracle::search`] evaluates the space with rayon across all
+//! cores — pruning memory-infeasible candidates *before* the cost model runs
+//! — and returns a ranked [`SearchReport`]: every feasible candidate sorted
+//! by projected epoch time, plus the best strategy at each power-of-two PE
+//! budget. [`Oracle::search_serial`] is the single-threaded reference used by
+//! tests and the speedup benchmark.
+
+use crate::compute::ComputeModel;
+use crate::cost::estimate_with_memory;
+use crate::memory::memory_per_pe;
+use crate::model::Model;
+use crate::oracle::{Constraints, Oracle, Projection};
+use crate::scaling::powers_of_two;
+use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
+use rayon::prelude::*;
+use std::collections::HashSet;
+
+/// The exhaustive candidate space for one (model, batch, constraints)
+/// problem. Construction enumerates and deduplicates all valid candidates;
+/// the type then iterates them in a deterministic order.
+#[derive(Debug, Clone)]
+pub struct StrategySpace {
+    candidates: Vec<Strategy>,
+    next: usize,
+}
+
+impl StrategySpace {
+    /// Enumerates every candidate strategy for `model` trained with global
+    /// mini-batch `batch` under `constraints`. Candidates violating a scaling
+    /// limit (Table 3) or exceeding `constraints.max_pes` are never produced;
+    /// memory feasibility is intentionally *not* checked here so the search
+    /// can report how many candidates its memory pruning removed.
+    pub fn new(model: &Model, batch: usize, constraints: &Constraints) -> Self {
+        let max_pes = constraints.max_pes.max(1);
+        let mut seen: HashSet<Strategy> = HashSet::new();
+        let mut push = |s: Strategy| {
+            if s.total_pes() <= max_pes && s.validate(model, batch).is_ok() {
+                seen.insert(s);
+            }
+        };
+
+        push(Strategy::Serial);
+
+        for p in powers_of_two(1, max_pes.min(batch)) {
+            push(Strategy::Data { p });
+        }
+
+        let spatial_caps = model.min_spatial_extents();
+        for p in powers_of_two(2, max_pes.min(model.min_spatial_size())) {
+            for split in spatial_factorizations(p, &spatial_caps) {
+                push(Strategy::Spatial { split });
+            }
+        }
+
+        for p in powers_of_two(2, max_pes.min(model.min_filters())) {
+            push(Strategy::Filter { p });
+        }
+
+        for p in powers_of_two(2, max_pes.min(model.min_channels_after_first())) {
+            push(Strategy::Channel { p });
+        }
+
+        let seg_cap = constraints.pipeline_segments.max(1).min(batch);
+        for p in powers_of_two(2, max_pes.min(model.num_layers())) {
+            for segments in powers_of_two(1, seg_cap) {
+                push(Strategy::Pipeline { p, segments });
+            }
+        }
+
+        for p1 in powers_of_two(1, batch) {
+            for p2 in powers_of_two(2, model.min_filters()) {
+                if p1 * p2 <= max_pes {
+                    push(Strategy::DataFilter { p1, p2 });
+                }
+            }
+            for p2 in powers_of_two(2, model.min_spatial_size()) {
+                if p1 * p2 <= max_pes {
+                    for split in spatial_factorizations(p2, &spatial_caps) {
+                        push(Strategy::DataSpatial { p1, split });
+                    }
+                }
+            }
+        }
+
+        let mut candidates: Vec<Strategy> = seen.into_iter().collect();
+        candidates.sort_by_key(strategy_sort_key);
+        StrategySpace { candidates, next: 0 }
+    }
+
+    /// Number of candidates in the space (including not-yet-yielded ones).
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the space is empty (it never is: `Serial` always qualifies).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The remaining candidates as a slice, without consuming the iterator.
+    pub fn as_slice(&self) -> &[Strategy] {
+        &self.candidates[self.next.min(self.candidates.len())..]
+    }
+
+    /// Consumes the space, returning all candidates.
+    pub fn into_vec(self) -> Vec<Strategy> {
+        self.candidates
+    }
+}
+
+impl Iterator for StrategySpace {
+    type Item = Strategy;
+
+    fn next(&mut self) -> Option<Strategy> {
+        let item = self.candidates.get(self.next).copied();
+        self.next += 1;
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.candidates.len().saturating_sub(self.next);
+        (rest, Some(rest))
+    }
+}
+
+/// Deterministic enumeration order: by strategy family, then PE count, then
+/// the family-specific parameters.
+fn strategy_sort_key(s: &Strategy) -> (u8, usize, usize, usize, usize) {
+    let family = match s.kind() {
+        StrategyKind::Serial => 0,
+        StrategyKind::Data => 1,
+        StrategyKind::Spatial => 2,
+        StrategyKind::Filter => 3,
+        StrategyKind::Channel => 4,
+        StrategyKind::Pipeline => 5,
+        StrategyKind::DataFilter => 6,
+        StrategyKind::DataSpatial => 7,
+    };
+    let (a, b, c) = match *s {
+        Strategy::Spatial { split } => (split.pw, split.ph, split.pd),
+        Strategy::Pipeline { segments, .. } => (segments, 0, 0),
+        Strategy::DataFilter { p1, p2 } => (p1, p2, 0),
+        Strategy::DataSpatial { p1, split } => (p1, split.pw, split.ph),
+        _ => (0, 0, 0),
+    };
+    (family, s.total_pes(), a, b, c)
+}
+
+/// All ordered factorizations of `p` into 2 or 3 spatial split factors
+/// (`p = pw·ph` or `p = pw·ph·pd`, rank = `caps.len()`), keeping only those
+/// where every factor fits its dimension: splitting a dimension into more
+/// parts than its smallest extent (`caps`, see
+/// [`Model::min_spatial_extents`]) is physically impossible even when the
+/// *total* stays within `min_spatial_size`.
+fn spatial_factorizations(p: usize, caps: &[usize]) -> Vec<SpatialSplit> {
+    let cap = |dim: usize| caps.get(dim).copied().unwrap_or(1);
+    let mut out = Vec::new();
+    if caps.len() >= 3 {
+        for pw in divisors(p) {
+            let rest = p / pw;
+            for ph in divisors(rest) {
+                let pd = rest / ph;
+                if pw <= cap(0) && ph <= cap(1) && pd <= cap(2) {
+                    out.push(SpatialSplit { pw, ph, pd });
+                }
+            }
+        }
+    } else {
+        for pw in divisors(p) {
+            let ph = p / pw;
+            if pw <= cap(0) && ph <= cap(1) {
+                out.push(SpatialSplit { pw, ph, pd: 1 });
+            }
+        }
+    }
+    out
+}
+
+fn divisors(p: usize) -> Vec<usize> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            small.push(d);
+            if d * d != p {
+                large.push(p / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// One evaluated candidate in a [`SearchReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCandidate {
+    /// The concrete strategy.
+    pub strategy: Strategy,
+    /// Its full projection (per-phase cost breakdown + memory).
+    pub projection: Projection,
+}
+
+impl RankedCandidate {
+    /// Projected epoch time of this candidate, the ranking key.
+    pub fn epoch_time(&self) -> f64 {
+        self.projection.cost.epoch_time()
+    }
+}
+
+/// The best candidate within one PE budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetWinner {
+    /// The PE budget (candidates use at most this many PEs).
+    pub max_pes: usize,
+    /// The fastest feasible candidate within the budget.
+    pub candidate: RankedCandidate,
+}
+
+/// The result of an exhaustive strategy search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Number of candidates the [`StrategySpace`] enumerated.
+    pub enumerated: usize,
+    /// Candidates discarded by the memory-capacity check before costing.
+    pub pruned_by_memory: usize,
+    /// Every costed candidate, fastest first (deterministic order).
+    pub ranked: Vec<RankedCandidate>,
+    /// The fastest candidate within each power-of-two PE budget
+    /// `1, 2, 4, …, constraints.max_pes`, ascending. Budgets smaller than
+    /// the smallest feasible candidate's PE count are omitted (don't index
+    /// this positionally); a budget where nothing better fits repeats the
+    /// previous budget's winner.
+    pub best_per_budget: Vec<BudgetWinner>,
+}
+
+impl SearchReport {
+    /// The overall winner: the fastest feasible candidate, if any survived
+    /// the memory pruning.
+    pub fn best(&self) -> Option<&RankedCandidate> {
+        self.ranked.first()
+    }
+
+    /// Number of candidates that were actually costed.
+    pub fn evaluated(&self) -> usize {
+        self.enumerated - self.pruned_by_memory
+    }
+}
+
+impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
+    /// The exhaustive candidate space for this oracle's problem under
+    /// `constraints`.
+    pub fn strategy_space(&self, constraints: &Constraints) -> StrategySpace {
+        StrategySpace::new(self.model, self.config.batch_size, constraints)
+    }
+
+    /// Exhaustive strategy search, evaluated in parallel across cores with
+    /// rayon. Memory-infeasible candidates are pruned before the cost model
+    /// runs; the surviving candidates are costed and ranked by projected
+    /// epoch time. Deterministic: returns exactly what [`Oracle::search_serial`]
+    /// returns.
+    pub fn search(&self, constraints: &Constraints) -> SearchReport {
+        let candidates = self.strategy_space(constraints).into_vec();
+        let outcomes: Vec<Option<RankedCandidate>> = candidates
+            .par_iter()
+            .map(|&strategy| self.evaluate_candidate(strategy, constraints))
+            .collect();
+        self.build_report(candidates.len(), outcomes, constraints)
+    }
+
+    /// Single-threaded reference implementation of [`Oracle::search`], used
+    /// by the equivalence tests and as the baseline of the speedup benchmark.
+    pub fn search_serial(&self, constraints: &Constraints) -> SearchReport {
+        let candidates = self.strategy_space(constraints).into_vec();
+        let outcomes: Vec<Option<RankedCandidate>> = candidates
+            .iter()
+            .map(|&strategy| self.evaluate_candidate(strategy, constraints))
+            .collect();
+        self.build_report(candidates.len(), outcomes, constraints)
+    }
+
+    /// Memory-prunes then costs one candidate. Returns `None` when the
+    /// candidate cannot fit the per-PE memory capacity (cheap check — no
+    /// cost-model evaluation happens for pruned candidates).
+    fn evaluate_candidate(
+        &self,
+        strategy: Strategy,
+        constraints: &Constraints,
+    ) -> Option<RankedCandidate> {
+        let mem = memory_per_pe(self.model, &self.config, strategy);
+        if mem > constraints.memory_capacity_bytes {
+            return None;
+        }
+        let cost = estimate_with_memory(
+            self.model,
+            self.device,
+            self.cluster,
+            &self.config,
+            strategy,
+            mem,
+        );
+        let projection = Projection { cost, fits_memory: true, within_scaling_limit: true };
+        Some(RankedCandidate { strategy, projection })
+    }
+
+    fn build_report(
+        &self,
+        enumerated: usize,
+        outcomes: Vec<Option<RankedCandidate>>,
+        constraints: &Constraints,
+    ) -> SearchReport {
+        let mut ranked: Vec<RankedCandidate> = outcomes.into_iter().flatten().collect();
+        let pruned_by_memory = enumerated - ranked.len();
+        ranked.sort_by(|a, b| {
+            a.epoch_time()
+                .total_cmp(&b.epoch_time())
+                .then_with(|| strategy_sort_key(&a.strategy).cmp(&strategy_sort_key(&b.strategy)))
+        });
+
+        let mut best_per_budget = Vec::new();
+        for budget in powers_of_two(1, constraints.max_pes.max(1)) {
+            let winner = ranked.iter().find(|c| c.strategy.total_pes() <= budget).copied();
+            if let Some(candidate) = winner {
+                best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
+            }
+        }
+
+        SearchReport { enumerated, pruned_by_memory, ranked, best_per_budget }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::compute::DeviceProfile;
+    use crate::config::TrainingConfig;
+    use crate::layer::Layer;
+
+    fn model() -> Model {
+        Model::new(
+            "m",
+            3,
+            vec![32, 32],
+            vec![
+                Layer::conv2d("c1", 3, 64, (32, 32), 3, 1, 1),
+                Layer::pool2d("p1", 64, (32, 32), 2, 2),
+                Layer::conv2d("c2", 64, 128, (16, 16), 3, 1, 1),
+                Layer::global_pool("g", 128, &[16, 16]),
+                Layer::fully_connected("fc", 128, 10),
+            ],
+        )
+    }
+
+    fn constraints() -> Constraints {
+        Constraints { max_pes: 256, ..Constraints::default() }
+    }
+
+    #[test]
+    fn space_covers_all_strategy_kinds() {
+        let m = model();
+        let space = StrategySpace::new(&m, 64, &constraints());
+        let kinds: std::collections::HashSet<StrategyKind> =
+            space.clone().map(|s| s.kind()).collect();
+        for kind in StrategyKind::ALL {
+            assert!(kinds.contains(&kind), "missing {kind} candidates");
+        }
+    }
+
+    #[test]
+    fn space_candidates_respect_limits_and_are_unique() {
+        let m = model();
+        let c = constraints();
+        let space = StrategySpace::new(&m, 64, &c);
+        let all: Vec<Strategy> = space.clone().collect();
+        assert_eq!(all.len(), space.len());
+        let unique: std::collections::HashSet<&Strategy> = all.iter().collect();
+        assert_eq!(unique.len(), all.len(), "duplicate candidates");
+        for s in &all {
+            assert!(s.total_pes() <= c.max_pes, "{s} exceeds max_pes");
+            assert!(s.validate(&m, 64).is_ok(), "{s} violates a scaling limit");
+        }
+    }
+
+    #[test]
+    fn spatial_candidates_enumerate_factorizations() {
+        let m = model();
+        let space = StrategySpace::new(&m, 64, &constraints());
+        let splits: Vec<SpatialSplit> = space
+            .filter_map(|s| match s {
+                Strategy::Spatial { split } => Some(split),
+                _ => None,
+            })
+            .collect();
+        // p = 4 admits 1×4, 2×2, 4×1 on a 2-D model.
+        let of4: Vec<&SpatialSplit> = splits.iter().filter(|s| s.total() == 4).collect();
+        assert_eq!(of4.len(), 3, "{of4:?}");
+    }
+
+    #[test]
+    fn parallel_and_serial_search_agree_exactly() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let cl = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let c = constraints();
+        let par = oracle.search(&c);
+        let ser = oracle.search_serial(&c);
+        assert_eq!(par.enumerated, ser.enumerated);
+        assert_eq!(par.pruned_by_memory, ser.pruned_by_memory);
+        assert_eq!(par.ranked.len(), ser.ranked.len());
+        for (a, b) in par.ranked.iter().zip(&ser.ranked) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.projection, b.projection);
+        }
+        let (pb, sb) = (par.best().unwrap(), ser.best().unwrap());
+        assert_eq!(pb.strategy, sb.strategy, "winner differs between parallel and serial");
+    }
+
+    #[test]
+    fn search_prunes_under_tight_memory() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let cl = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let tight = Constraints { memory_capacity_bytes: 1.0, max_pes: 64, ..Default::default() };
+        let report = oracle.search(&tight);
+        assert_eq!(report.pruned_by_memory, report.enumerated);
+        assert!(report.ranked.is_empty());
+        assert!(report.best().is_none());
+        assert!(report.best_per_budget.is_empty());
+    }
+
+    #[test]
+    fn budget_winners_are_monotone_in_budget() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let cl = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let report = oracle.search(&constraints());
+        assert!(!report.best_per_budget.is_empty());
+        let mut prev_time = f64::INFINITY;
+        let mut prev_budget = 0;
+        for winner in &report.best_per_budget {
+            assert!(winner.max_pes > prev_budget);
+            assert!(winner.candidate.strategy.total_pes() <= winner.max_pes);
+            // A larger budget can only help (the smaller budget's winner is
+            // still admissible).
+            assert!(winner.candidate.epoch_time() <= prev_time + 1e-12);
+            prev_budget = winner.max_pes;
+            prev_time = winner.candidate.epoch_time();
+        }
+        // The largest budget's winner is the global winner.
+        let last = report.best_per_budget.last().unwrap();
+        assert_eq!(last.candidate.strategy, report.best().unwrap().strategy);
+    }
+
+    #[test]
+    fn search_winner_is_at_least_as_good_as_suggest() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let cl = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let c = Constraints::default();
+        let best = oracle.search(&c).best().unwrap().projection;
+        let suggested = oracle.suggest(&c).unwrap();
+        assert!(best.cost.epoch_time() <= suggested.cost.epoch_time() + 1e-12);
+    }
+
+    #[test]
+    fn divisors_and_factorizations_are_exhaustive() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(spatial_factorizations(4, &[32, 32]).len(), 3);
+        // 8 = pw·ph·pd has 10 ordered factorizations into three factors.
+        assert_eq!(spatial_factorizations(8, &[64, 64, 64]).len(), 10);
+        for split in spatial_factorizations(8, &[64, 64, 64]) {
+            assert_eq!(split.total(), 8);
+        }
+    }
+
+    #[test]
+    fn factorizations_respect_per_dimension_extents() {
+        // 128 = pw·ph always needs a factor > 13 on a 13×13 plane, even
+        // though 128 ≤ 13·13 = 169: no candidate must survive.
+        assert!(spatial_factorizations(128, &[13, 13]).is_empty());
+        // 8 on a 2×16 plane: only pw ∈ {1, 2} qualify.
+        let splits = spatial_factorizations(8, &[2, 16]);
+        assert_eq!(splits.len(), 2, "{splits:?}");
+        for split in &splits {
+            assert!(split.pw <= 2 && split.ph <= 16);
+        }
+    }
+
+    #[test]
+    fn space_never_splits_a_dimension_beyond_its_extent() {
+        // AlexNet-like asymmetry: the deepest conv plane is 13×13, so
+        // min_spatial_size = 169 admits totals up to 128, but no single
+        // dimension may be split more than 13 ways.
+        let m = Model::new(
+            "deep",
+            3,
+            vec![227, 227],
+            vec![
+                Layer::conv2d("c1", 3, 96, (227, 227), 11, 4, 0),
+                Layer::conv2d("c2", 96, 256, (13, 13), 3, 1, 1),
+                Layer::global_pool("g", 256, &[13, 13]),
+                Layer::fully_connected("fc", 256, 10),
+            ],
+        );
+        let caps = m.min_spatial_extents();
+        assert_eq!(caps, vec![13, 13]);
+        let space = StrategySpace::new(&m, 256, &Constraints::default());
+        let mut saw_spatial = false;
+        for s in space {
+            let split = match s {
+                Strategy::Spatial { split } => split,
+                Strategy::DataSpatial { split, .. } => split,
+                _ => continue,
+            };
+            saw_spatial = true;
+            assert!(split.pw <= 13 && split.ph <= 13, "{s} over-splits a 13-wide dimension");
+        }
+        assert!(saw_spatial, "expected spatial candidates");
+    }
+}

@@ -34,12 +34,12 @@ impl SpatialSplit {
         let mut best = (p, 1, 1);
         let mut best_spread = p;
         for a in 1..=p {
-            if p % a != 0 {
+            if !p.is_multiple_of(a) {
                 continue;
             }
             let rest = p / a;
             for b in 1..=rest {
-                if rest % b != 0 {
+                if !rest.is_multiple_of(b) {
                     continue;
                 }
                 let c = rest / b;
@@ -71,7 +71,7 @@ fn closest_factor_pair(p: usize) -> (usize, usize) {
     let mut best = (1, p);
     let mut a = 1;
     while a * a <= p {
-        if p % a == 0 {
+        if p.is_multiple_of(a) {
             best = (a, p / a);
         }
         a += 1;
@@ -242,10 +242,7 @@ impl Strategy {
             }
             Strategy::Pipeline { p, segments } => {
                 if p > model.num_layers() {
-                    Err(format!(
-                        "pipeline parallelism needs p ≤ G ({p} > {})",
-                        model.num_layers()
-                    ))
+                    Err(format!("pipeline parallelism needs p ≤ G ({p} > {})", model.num_layers()))
                 } else if segments == 0 {
                     Err("pipeline needs at least one segment".into())
                 } else if segments > batch {
@@ -288,20 +285,16 @@ impl fmt::Display for Strategy {
         match *self {
             Strategy::Serial => write!(f, "serial"),
             Strategy::Data { p } => write!(f, "data(p={p})"),
-            Strategy::Spatial { split } => write!(
-                f,
-                "spatial(pw={},ph={},pd={})",
-                split.pw, split.ph, split.pd
-            ),
+            Strategy::Spatial { split } => {
+                write!(f, "spatial(pw={},ph={},pd={})", split.pw, split.ph, split.pd)
+            }
             Strategy::Filter { p } => write!(f, "filter(p={p})"),
             Strategy::Channel { p } => write!(f, "channel(p={p})"),
             Strategy::Pipeline { p, segments } => write!(f, "pipeline(p={p},S={segments})"),
             Strategy::DataFilter { p1, p2 } => write!(f, "data+filter(p1={p1},p2={p2})"),
-            Strategy::DataSpatial { p1, split } => write!(
-                f,
-                "data+spatial(p1={p1},pw={},ph={},pd={})",
-                split.pw, split.ph, split.pd
-            ),
+            Strategy::DataSpatial { p1, split } => {
+                write!(f, "data+spatial(p1={p1},pw={},ph={},pd={})", split.pw, split.ph, split.pd)
+            }
         }
     }
 }
@@ -402,10 +395,7 @@ mod tests {
     fn total_pes_per_strategy() {
         assert_eq!(Strategy::Serial.total_pes(), 1);
         assert_eq!(Strategy::Data { p: 64 }.total_pes(), 64);
-        assert_eq!(
-            Strategy::DataFilter { p1: 16, p2: 4 }.total_pes(),
-            64
-        );
+        assert_eq!(Strategy::DataFilter { p1: 16, p2: 4 }.total_pes(), 64);
         assert_eq!(
             Strategy::DataSpatial { p1: 8, split: SpatialSplit::balanced_2d(4) }.total_pes(),
             32
@@ -444,10 +434,7 @@ mod tests {
     #[test]
     fn display_is_stable() {
         assert_eq!(Strategy::Data { p: 8 }.to_string(), "data(p=8)");
-        assert_eq!(
-            Strategy::DataFilter { p1: 4, p2: 2 }.to_string(),
-            "data+filter(p1=4,p2=2)"
-        );
+        assert_eq!(Strategy::DataFilter { p1: 4, p2: 2 }.to_string(), "data+filter(p1=4,p2=2)");
         assert_eq!(StrategyKind::DataSpatial.to_string(), "data+spatial");
     }
 }

@@ -22,15 +22,7 @@ fn arb_model() -> impl PropStrategy<Value = Model> {
         let mut hw = s;
         for i in 0..depth {
             let out = base_ch * (i + 1);
-            layers.push(Layer::conv2d(
-                format!("conv{i}"),
-                ch,
-                out,
-                (hw, hw),
-                3,
-                1,
-                1,
-            ));
+            layers.push(Layer::conv2d(format!("conv{i}"), ch, out, (hw, hw), 3, 1, 1));
             layers.push(Layer::relu(format!("relu{i}"), out, &[hw, hw]));
             if hw >= 8 {
                 layers.push(Layer::pool2d(format!("pool{i}"), out, (hw, hw), 2, 2));

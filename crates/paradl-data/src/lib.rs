@@ -113,7 +113,8 @@ impl SyntheticDataset {
     /// Generates sample `index` (must be `< spec.samples`).
     pub fn sample(&self, index: usize) -> Sample {
         assert!(index < self.spec.samples, "sample index out of range");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let n = self.spec.sample_elements();
         let values = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let label = if self.spec.classes > 0 { rng.gen_range(0..self.spec.classes) } else { 0 };
@@ -135,7 +136,7 @@ impl SyntheticDataset {
 
     /// The shard of a batch owned by `rank` among `world` data-parallel PEs
     /// (contiguous split of the batch, as the paper's micro-batch `B' = B/p`).
-    pub fn shard<'a>(batch: &'a [usize], rank: usize, world: usize) -> &'a [usize] {
+    pub fn shard(batch: &[usize], rank: usize, world: usize) -> &[usize] {
         assert!(rank < world, "rank out of range");
         let per = batch.len() / world;
         let start = rank * per;

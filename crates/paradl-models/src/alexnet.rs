@@ -8,29 +8,30 @@ use paradl_core::model::Model;
 
 /// Builds AlexNet for a `3 × 227 × 227` input.
 pub fn alexnet() -> Model {
-    let mut layers = Vec::new();
-    // conv1: 11x11/4, 96 filters
-    layers.push(Layer::conv2d("conv1", 3, 96, (227, 227), 11, 4, 0));
-    layers.push(Layer::relu("relu1", 96, &[55, 55]));
-    layers.push(Layer::pool2d("pool1", 96, (55, 55), 3, 2));
-    // conv2: 5x5, 256 filters on 27x27
-    layers.push(Layer::conv2d("conv2", 96, 256, (27, 27), 5, 1, 2));
-    layers.push(Layer::relu("relu2", 256, &[27, 27]));
-    layers.push(Layer::pool2d("pool2", 256, (27, 27), 3, 2));
-    // conv3-5: 3x3 on 13x13
-    layers.push(Layer::conv2d("conv3", 256, 384, (13, 13), 3, 1, 1));
-    layers.push(Layer::relu("relu3", 384, &[13, 13]));
-    layers.push(Layer::conv2d("conv4", 384, 384, (13, 13), 3, 1, 1));
-    layers.push(Layer::relu("relu4", 384, &[13, 13]));
-    layers.push(Layer::conv2d("conv5", 384, 256, (13, 13), 3, 1, 1));
-    layers.push(Layer::relu("relu5", 256, &[13, 13]));
-    layers.push(Layer::pool2d("pool5", 256, (13, 13), 3, 2));
-    // FC layers on 256×6×6.
-    layers.push(Layer::fully_connected("fc6", 256 * 6 * 6, 4096));
-    layers.push(Layer::relu("relu6", 4096, &[1]));
-    layers.push(Layer::fully_connected("fc7", 4096, 4096));
-    layers.push(Layer::relu("relu7", 4096, &[1]));
-    layers.push(Layer::fully_connected("fc8", 4096, 1000));
+    let layers = vec![
+        // conv1: 11x11/4, 96 filters
+        Layer::conv2d("conv1", 3, 96, (227, 227), 11, 4, 0),
+        Layer::relu("relu1", 96, &[55, 55]),
+        Layer::pool2d("pool1", 96, (55, 55), 3, 2),
+        // conv2: 5x5, 256 filters on 27x27
+        Layer::conv2d("conv2", 96, 256, (27, 27), 5, 1, 2),
+        Layer::relu("relu2", 256, &[27, 27]),
+        Layer::pool2d("pool2", 256, (27, 27), 3, 2),
+        // conv3-5: 3x3 on 13x13
+        Layer::conv2d("conv3", 256, 384, (13, 13), 3, 1, 1),
+        Layer::relu("relu3", 384, &[13, 13]),
+        Layer::conv2d("conv4", 384, 384, (13, 13), 3, 1, 1),
+        Layer::relu("relu4", 384, &[13, 13]),
+        Layer::conv2d("conv5", 384, 256, (13, 13), 3, 1, 1),
+        Layer::relu("relu5", 256, &[13, 13]),
+        Layer::pool2d("pool5", 256, (13, 13), 3, 2),
+        // FC layers on 256×6×6.
+        Layer::fully_connected("fc6", 256 * 6 * 6, 4096),
+        Layer::relu("relu6", 4096, &[1]),
+        Layer::fully_connected("fc7", 4096, 4096),
+        Layer::relu("relu7", 4096, &[1]),
+        Layer::fully_connected("fc8", 4096, 1000),
+    ];
     Model::new("AlexNet", 3, vec![227, 227], layers)
 }
 

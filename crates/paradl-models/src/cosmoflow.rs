@@ -24,15 +24,7 @@ pub fn cosmoflow_with_input(side: usize) -> Model {
     let mut i = 0usize;
     while s > 4 {
         let out_ch = *base_widths.get(i).unwrap_or(&256);
-        layers.push(Layer::conv3d(
-            format!("conv{}", i + 1),
-            in_ch,
-            out_ch,
-            (s, s, s),
-            3,
-            1,
-            1,
-        ));
+        layers.push(Layer::conv3d(format!("conv{}", i + 1), in_ch, out_ch, (s, s, s), 3, 1, 1));
         layers.push(Layer::relu(format!("lrelu{}", i + 1), out_ch, &[s, s, s]));
         layers.push(Layer::pool3d(format!("pool{}", i + 1), out_ch, (s, s, s), 2, 2));
         s /= 2;
@@ -110,11 +102,8 @@ mod tests {
         let cfg = TrainingConfig { memory_reuse: 0.7, ..TrainingConfig::cosmoflow(4) };
         let data = memory_per_pe(&m, &cfg, Strategy::Data { p: 4 });
         assert!(data > V100_MEMORY_BYTES);
-        let spatial = memory_per_pe(
-            &m,
-            &cfg,
-            Strategy::Spatial { split: SpatialSplit::balanced_3d(64) },
-        );
+        let spatial =
+            memory_per_pe(&m, &cfg, Strategy::Spatial { split: SpatialSplit::balanced_3d(64) });
         assert!(spatial < data);
     }
 

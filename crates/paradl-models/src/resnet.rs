@@ -31,15 +31,7 @@ fn bottleneck(
     layers.push(Layer::batch_norm(format!("{prefix}_bn1"), mid_ch, &[hw, hw]));
     layers.push(Layer::relu(format!("{prefix}_relu1"), mid_ch, &[hw, hw]));
     // 3x3 (stride may reduce spatial size)
-    layers.push(Layer::conv2d(
-        format!("{prefix}_conv2"),
-        mid_ch,
-        mid_ch,
-        (hw, hw),
-        3,
-        stride,
-        1,
-    ));
+    layers.push(Layer::conv2d(format!("{prefix}_conv2"), mid_ch, mid_ch, (hw, hw), 3, stride, 1));
     layers.push(Layer::batch_norm(format!("{prefix}_bn2"), mid_ch, &[out_hw, out_hw]));
     layers.push(Layer::relu(format!("{prefix}_relu2"), mid_ch, &[out_hw, out_hw]));
     // 1x1 expand
@@ -175,11 +167,7 @@ mod tests {
     #[test]
     fn final_spatial_size_is_7x7() {
         let m = resnet50();
-        let gpool = m
-            .layers
-            .iter()
-            .find(|l| l.kind == LayerKind::GlobalPool)
-            .unwrap();
+        let gpool = m.layers.iter().find(|l| l.kind == LayerKind::GlobalPool).unwrap();
         assert_eq!(gpool.in_spatial, vec![7, 7]);
     }
 

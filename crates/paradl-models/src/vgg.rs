@@ -58,20 +58,14 @@ mod tests {
     fn parameter_count_is_about_138m() {
         let m = vgg16();
         let p = m.total_params();
-        assert!(
-            (130_000_000..150_000_000).contains(&p),
-            "VGG16 params = {p}"
-        );
+        assert!((130_000_000..150_000_000).contains(&p), "VGG16 params = {p}");
     }
 
     #[test]
     fn has_13_convolutions_and_3_fc() {
         let m = vgg16();
-        let convs = m
-            .layers
-            .iter()
-            .filter(|l| l.kind == paradl_core::layer::LayerKind::Conv)
-            .count();
+        let convs =
+            m.layers.iter().filter(|l| l.kind == paradl_core::layer::LayerKind::Conv).count();
         let fcs = m
             .layers
             .iter()

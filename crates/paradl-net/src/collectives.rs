@@ -38,11 +38,7 @@ impl Schedule {
 
     /// Total bytes moved by the whole collective.
     pub fn total_bytes(&self) -> f64 {
-        self.steps
-            .iter()
-            .flat_map(|s| s.iter())
-            .map(|t| t.bytes)
-            .sum()
+        self.steps.iter().flat_map(|s| s.iter()).map(|t| t.bytes).sum()
     }
 
     /// Concatenates another schedule after this one.
@@ -128,10 +124,8 @@ pub fn flat_reduce_to_root(ranks: &[usize], bytes: f64) -> Schedule {
     if p <= 1 {
         return Schedule::default();
     }
-    let steps = ranks[1..]
-        .iter()
-        .map(|&src| vec![Transfer { src, dst: ranks[0], bytes }])
-        .collect();
+    let steps =
+        ranks[1..].iter().map(|&src| vec![Transfer { src, dst: ranks[0], bytes }]).collect();
     Schedule { steps }
 }
 
@@ -158,10 +152,8 @@ pub fn hierarchical_allreduce(groups: &[Vec<usize>], bytes: f64) -> Schedule {
 /// and the disjoint Allreduces run concurrently — sharing the inter-node
 /// links, which is exactly the self-contention the paper's φ = 2 models.
 pub fn segmented_allreduce(segments: &[Vec<usize>], bytes_per_segment: f64) -> Schedule {
-    let schedules: Vec<Schedule> = segments
-        .iter()
-        .map(|s| ring_allreduce(s, bytes_per_segment))
-        .collect();
+    let schedules: Vec<Schedule> =
+        segments.iter().map(|s| ring_allreduce(s, bytes_per_segment)).collect();
     merge_concurrent(&schedules)
 }
 
@@ -230,8 +222,7 @@ mod tests {
         let s = tree_broadcast(&ranks, 100.0);
         assert_eq!(s.num_steps(), 3);
         // All non-root ranks receive exactly once.
-        let mut receivers: Vec<usize> =
-            s.steps.iter().flatten().map(|t| t.dst).collect();
+        let mut receivers: Vec<usize> = s.steps.iter().flatten().map(|t| t.dst).collect();
         receivers.sort_unstable();
         assert_eq!(receivers, (1..8).collect::<Vec<_>>());
     }
@@ -252,7 +243,7 @@ mod tests {
         let segments = vec![vec![0, 4, 8], vec![1, 5, 9]];
         let s = segmented_allreduce(&segments, 3e6);
         assert_eq!(s.num_steps(), 2 * 2); // 2(p-1) with p=3
-        // Each step contains transfers from both segments.
+                                          // Each step contains transfers from both segments.
         assert!(s.steps[0].iter().any(|t| t.src % 4 == 0));
         assert!(s.steps[0].iter().any(|t| t.src % 4 == 1));
     }

@@ -60,12 +60,7 @@ pub fn schedule_time(topology: &FatTree, schedule: &Schedule) -> f64 {
 /// Maximum contention factor φ observed on any link of a schedule — the
 /// quantity the analytical model approximates with its constant coefficient.
 pub fn max_contention(topology: &FatTree, schedule: &Schedule) -> usize {
-    schedule
-        .steps
-        .iter()
-        .flat_map(|s| link_loads(topology, s).into_values())
-        .max()
-        .unwrap_or(0)
+    schedule.steps.iter().flat_map(|s| link_loads(topology, s).into_values()).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -77,10 +72,8 @@ mod tests {
     fn disjoint_flows_do_not_contend() {
         let topo = FatTree::paper_system(64);
         // Two transfers inside different nodes.
-        let transfers = vec![
-            Transfer { src: 0, dst: 1, bytes: 1e6 },
-            Transfer { src: 4, dst: 5, bytes: 1e6 },
-        ];
+        let transfers =
+            vec![Transfer { src: 0, dst: 1, bytes: 1e6 }, Transfer { src: 4, dst: 5, bytes: 1e6 }];
         let loads = link_loads(&topo, &transfers);
         assert!(loads.values().all(|&v| v == 1));
         let t_two = step_time(&topo, &transfers);
@@ -93,28 +86,20 @@ mod tests {
         let topo = FatTree::paper_system(64);
         // Two flows leaving node 0 towards node 1 share the node-0 uplink.
         let one = vec![Transfer { src: 0, dst: 4, bytes: 1e8 }];
-        let two = vec![
-            Transfer { src: 0, dst: 4, bytes: 1e8 },
-            Transfer { src: 1, dst: 5, bytes: 1e8 },
-        ];
+        let two =
+            vec![Transfer { src: 0, dst: 4, bytes: 1e8 }, Transfer { src: 1, dst: 5, bytes: 1e8 }];
         let t1 = step_time(&topo, &one);
         let t2 = step_time(&topo, &two);
         assert!(t2 > 1.8 * t1, "t1={t1} t2={t2}");
         let loads = link_loads(&topo, &two);
-        assert_eq!(
-            loads[&LinkId::NodeToRack { node: 0, dir: crate::topology::Direction::Up }],
-            2
-        );
+        assert_eq!(loads[&LinkId::NodeToRack { node: 0, dir: crate::topology::Direction::Up }], 2);
     }
 
     #[test]
     fn empty_step_takes_no_time() {
         let topo = FatTree::single_node(4);
         assert_eq!(step_time(&topo, &[]), 0.0);
-        assert_eq!(
-            step_time(&topo, &[Transfer { src: 2, dst: 2, bytes: 1e9 }]),
-            0.0
-        );
+        assert_eq!(step_time(&topo, &[Transfer { src: 2, dst: 2, bytes: 1e9 }]), 0.0);
     }
 
     #[test]
@@ -133,9 +118,8 @@ mod tests {
         let topo = FatTree::paper_system(64);
         // 4 segments, each spanning one GPU per node across 4 nodes: the
         // per-node uplinks are shared by all 4 concurrent rings.
-        let segments: Vec<Vec<usize>> = (0..4)
-            .map(|g| (0..4).map(|n| n * 4 + g).collect())
-            .collect();
+        let segments: Vec<Vec<usize>> =
+            (0..4).map(|g| (0..4).map(|n| n * 4 + g).collect()).collect();
         let sched = segmented_allreduce(&segments, 25e6);
         let phi = max_contention(&topo, &sched);
         assert!(phi >= 4, "expected uplink sharing, got φ = {phi}");

@@ -16,9 +16,8 @@ pub mod contention;
 pub mod topology;
 
 pub use collectives::{
-    flat_reduce_to_root, halo_exchange, hierarchical_allreduce, merge_concurrent,
-    ring_allgather, ring_allreduce, ring_reduce_scatter, segmented_allreduce, tree_broadcast,
-    Schedule, Transfer,
+    flat_reduce_to_root, halo_exchange, hierarchical_allreduce, merge_concurrent, ring_allgather,
+    ring_allreduce, ring_reduce_scatter, segmented_allreduce, tree_broadcast, Schedule, Transfer,
 };
 pub use contention::{link_loads, max_contention, schedule_time, step_time};
 pub use topology::{Direction, FatTree, LinkId};

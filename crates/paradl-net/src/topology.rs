@@ -126,11 +126,8 @@ impl FatTree {
             return Vec::new();
         }
         let (sn, dn) = (self.node_of(src), self.node_of(dst));
-        let mut links = vec![LinkId::GpuToNode {
-            node: sn,
-            gpu: self.gpu_of(src),
-            dir: Direction::Up,
-        }];
+        let mut links =
+            vec![LinkId::GpuToNode { node: sn, gpu: self.gpu_of(src), dir: Direction::Up }];
         if sn != dn {
             links.push(LinkId::NodeToRack { node: sn, dir: Direction::Up });
             let (sr, dr) = (self.rack_of(src), self.rack_of(dst));
@@ -140,11 +137,7 @@ impl FatTree {
             }
             links.push(LinkId::NodeToRack { node: dn, dir: Direction::Down });
         }
-        links.push(LinkId::GpuToNode {
-            node: dn,
-            gpu: self.gpu_of(dst),
-            dir: Direction::Down,
-        });
+        links.push(LinkId::GpuToNode { node: dn, gpu: self.gpu_of(dst), dir: Direction::Down });
         links
     }
 
@@ -165,10 +158,7 @@ impl FatTree {
             return LinkParams { alpha: 0.0, beta: 0.0 };
         }
         let alpha: f64 = route.iter().map(|&l| self.link_params(l).alpha).sum::<f64>() / 2.0;
-        let beta = route
-            .iter()
-            .map(|&l| self.link_params(l).beta)
-            .fold(0.0f64, f64::max);
+        let beta = route.iter().map(|&l| self.link_params(l).beta).fold(0.0f64, f64::max);
         LinkParams { alpha, beta }
     }
 
@@ -186,9 +176,7 @@ impl FatTree {
     /// The PEs that share a node with `pe` (including itself).
     pub fn node_peers(&self, pe: usize) -> Vec<usize> {
         let node = self.node_of(pe);
-        (0..self.gpus_per_node)
-            .map(|g| node * self.gpus_per_node + g)
-            .collect()
+        (0..self.gpus_per_node).map(|g| node * self.gpus_per_node + g).collect()
     }
 }
 
@@ -211,9 +199,7 @@ mod tests {
         let t = FatTree::paper_system(64);
         let route = t.route(0, 1);
         assert_eq!(route.len(), 2);
-        assert!(route
-            .iter()
-            .all(|l| matches!(l, LinkId::GpuToNode { node: 0, .. })));
+        assert!(route.iter().all(|l| matches!(l, LinkId::GpuToNode { node: 0, .. })));
     }
 
     #[test]

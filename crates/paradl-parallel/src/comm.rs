@@ -52,7 +52,12 @@ impl CommWorld {
         self.receivers
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| Communicator { rank, world, senders: Arc::clone(&senders), receivers: rx })
+            .map(|(rank, rx)| Communicator {
+                rank,
+                world,
+                senders: Arc::clone(&senders),
+                receivers: rx,
+            })
             .collect()
     }
 }
@@ -89,9 +94,7 @@ impl Communicator {
 
     /// Sends a tensor to `dst`.
     pub fn send(&self, dst: usize, tensor: Tensor) {
-        self.senders[self.rank][dst]
-            .send(Message::Tensor { tensor })
-            .expect("receiver dropped");
+        self.senders[self.rank][dst].send(Message::Tensor { tensor }).expect("receiver dropped");
     }
 
     /// Receives the next tensor sent by `src`.
@@ -236,11 +239,7 @@ mod tests {
         let results = run_world(3, |c| {
             let own = Tensor::full(&[1], c.rank() as f32);
             let (left, right) = c.halo_exchange(Some(own.clone()), Some(own));
-            (
-                c.rank(),
-                left.map(|t| t.data()[0]),
-                right.map(|t| t.data()[0]),
-            )
+            (c.rank(), left.map(|t| t.data()[0]), right.map(|t| t.data()[0]))
         });
         for (rank, left, right) in results {
             if rank == 0 {

@@ -20,6 +20,5 @@ pub mod strategies;
 pub use comm::{CommWorld, Communicator};
 pub use strategies::{
     channel_parallel_conv_forward, data_filter_forward, data_parallel_gradients,
-    filter_parallel_forward, pipeline_parallel_forward, run_world,
-    spatial_parallel_conv_forward,
+    filter_parallel_forward, pipeline_parallel_forward, run_world, spatial_parallel_conv_forward,
 };

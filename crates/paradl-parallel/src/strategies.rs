@@ -206,13 +206,9 @@ pub fn spatial_parallel_conv_forward(
 /// and streams each micro-batch segment's activation to stage 1, which runs
 /// conv2/ReLU/global-pool/FC. Returns the logits assembled on the last stage
 /// (empty tensor on the other ranks) — identical to the sequential forward.
-pub fn pipeline_parallel_forward(
-    net: &SmallCnn,
-    input: &Tensor,
-    segments: usize,
-) -> Vec<Tensor> {
+pub fn pipeline_parallel_forward(net: &SmallCnn, input: &Tensor, segments: usize) -> Vec<Tensor> {
     let n = input.shape()[0];
-    assert!(segments >= 1 && n % segments == 0, "segments must divide the batch");
+    assert!(segments >= 1 && n.is_multiple_of(segments), "segments must divide the batch");
     let seg = n / segments;
     let net = net.clone();
     let input = input.clone();
@@ -247,12 +243,7 @@ pub fn pipeline_parallel_forward(
 /// filter-parallel workers each. Returns, per rank, the logits of the group's
 /// batch shard — within a group every rank holds the same logits, and they
 /// match the sequential forward of that shard.
-pub fn data_filter_forward(
-    net: &SmallCnn,
-    input: &Tensor,
-    p1: usize,
-    p2: usize,
-) -> Vec<Tensor> {
+pub fn data_filter_forward(net: &SmallCnn, input: &Tensor, p1: usize, p2: usize) -> Vec<Tensor> {
     let n = input.shape()[0];
     assert_eq!(n % p1, 0, "batch must divide over the data groups");
     let shard = n / p1;
@@ -361,10 +352,7 @@ mod tests {
         for segments in [1usize, 2, 4] {
             let results = pipeline_parallel_forward(&net, &x, segments);
             // The last stage holds the assembled logits.
-            assert!(
-                results[1].approx_eq(&reference, TOL),
-                "pipeline diverged at S={segments}"
-            );
+            assert!(results[1].approx_eq(&reference, TOL), "pipeline diverged at S={segments}");
             assert!(results[0].is_empty());
         }
     }

@@ -146,8 +146,7 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
                 let ranks: Vec<usize> = (0..p).collect();
                 out.gradient_exchange = schedule_time(&topo, &ring_allreduce(&ranks, weight_bytes))
                     * sampler.congestion_multiplier();
-                out.halo_exchange =
-                    self.halo_time(model, &topo, &ranks, &split, b, delta, sampler);
+                out.halo_exchange = self.halo_time(model, &topo, &ranks, &split, b, delta, sampler);
             }
             Strategy::Filter { p } | Strategy::Channel { p } => {
                 let topo = self.topology(p);
@@ -158,8 +157,7 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
                     self.layerwise_collectives(model, &topo, &ranks, p, b, delta, sampler);
             }
             Strategy::Pipeline { p, segments } => {
-                let (fb, p2p) =
-                    self.pipeline_iteration(model, config, p, segments, sampler);
+                let (fb, p2p) = self.pipeline_iteration(model, config, p, segments, sampler);
                 out.forward_backward = fb;
                 out.pipeline_p2p = p2p;
                 // Weight update of the slowest stage.
@@ -184,17 +182,21 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
                 // ranks, i.e. the GPUs of one node).
                 let group0: Vec<usize> = (0..p2).collect();
                 out.fb_collective = self.layerwise_collectives(
-                    model, &topo, &group0, p, b / p1 as f64, delta, sampler,
+                    model,
+                    &topo,
+                    &group0,
+                    p,
+                    b / p1 as f64,
+                    delta,
+                    sampler,
                 );
                 // Segmented Allreduce: p2 concurrent rings, one per weight
                 // shard, each spanning the p1 groups (strided ranks).
-                let segments: Vec<Vec<usize>> = (0..p2)
-                    .map(|g| (0..p1).map(|n| n * p2 + g).collect())
-                    .collect();
-                out.gradient_exchange = schedule_time(
-                    &topo,
-                    &segmented_allreduce(&segments, weight_bytes / p2 as f64),
-                ) * sampler.congestion_multiplier();
+                let segments: Vec<Vec<usize>> =
+                    (0..p2).map(|g| (0..p1).map(|n| n * p2 + g).collect()).collect();
+                out.gradient_exchange =
+                    schedule_time(&topo, &segmented_allreduce(&segments, weight_bytes / p2 as f64))
+                        * sampler.congestion_multiplier();
             }
             Strategy::DataSpatial { p1, split } => {
                 let p2 = split.total();
@@ -203,13 +205,11 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
                 out.forward_backward = self.compute_full(model, b / p as f64, sampler);
                 out.weight_update = self.weight_update_full(model);
                 let group0: Vec<usize> = (0..p2).collect();
-                out.halo_exchange = self.halo_time(
-                    model, &topo, &group0, &split, b / p1 as f64, delta, sampler,
-                );
+                out.halo_exchange =
+                    self.halo_time(model, &topo, &group0, &split, b / p1 as f64, delta, sampler);
                 // Hierarchical Allreduce: one group per node.
-                let groups: Vec<Vec<usize>> = (0..p1)
-                    .map(|n| (0..p2).map(|g| n * p2 + g).collect())
-                    .collect();
+                let groups: Vec<Vec<usize>> =
+                    (0..p1).map(|n| (0..p2).map(|g| n * p2 + g).collect()).collect();
                 out.gradient_exchange =
                     schedule_time(&topo, &hierarchical_allreduce(&groups, weight_bytes))
                         * sampler.congestion_multiplier();
@@ -259,11 +259,7 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
     }
 
     fn weight_update_full(&self, model: &Model) -> f64 {
-        model
-            .layers
-            .iter()
-            .map(|l| self.device.weight_update_time(l))
-            .sum()
+        model.layers.iter().map(|l| self.device.weight_update_time(l)).sum()
     }
 
     /// Layer-wise Allgather (forward) + Allreduce (backward) of filter/channel
@@ -357,7 +353,11 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
             .take(p.saturating_sub(1))
             .map(|r| {
                 let act = model.layers[r.end - 1].output_size() as f64;
-                topo.p2p_time(0, topo.gpus_per_node.min(topo.total_pes() - 1).max(1), seg_samples * act * delta)
+                topo.p2p_time(
+                    0,
+                    topo.gpus_per_node.min(topo.total_pes() - 1).max(1),
+                    seg_samples * act * delta,
+                )
             })
             .collect();
 
@@ -366,11 +366,8 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
         let mut p2p_on_path = 0.0f64;
         for seg in 0..s {
             for stage in 0..p {
-                let from_prev_stage = if stage > 0 {
-                    finish[stage - 1][seg] + transfer[stage - 1]
-                } else {
-                    0.0
-                };
+                let from_prev_stage =
+                    if stage > 0 { finish[stage - 1][seg] + transfer[stage - 1] } else { 0.0 };
                 let from_prev_seg = if seg > 0 { finish[stage][seg - 1] } else { 0.0 };
                 let start = from_prev_stage.max(from_prev_seg);
                 if stage > 0 && from_prev_stage >= from_prev_seg {
@@ -404,9 +401,7 @@ mod tests {
     #[test]
     fn serial_simulation_matches_oracle_with_ideal_overheads() {
         let (m, d, c, cfg) = setup();
-        let sim = Simulator::new(&d, &c)
-            .with_overheads(OverheadModel::ideal())
-            .with_samples(1);
+        let sim = Simulator::new(&d, &c).with_overheads(OverheadModel::ideal()).with_samples(1);
         let measured = sim.simulate(&m, &cfg, Strategy::Serial);
         let projected = estimate(&m, &d, &c, &cfg, Strategy::Serial);
         let acc = projection_accuracy(projected.per_epoch.total(), measured.per_epoch.total());
@@ -416,9 +411,7 @@ mod tests {
     #[test]
     fn data_parallel_simulation_is_close_to_oracle() {
         let (m, d, c, cfg) = setup();
-        let sim = Simulator::new(&d, &c)
-            .with_overheads(OverheadModel::ideal())
-            .with_samples(1);
+        let sim = Simulator::new(&d, &c).with_overheads(OverheadModel::ideal()).with_samples(1);
         // The oracle prices every ring hop at the bottleneck link, while the
         // simulated ring keeps 3 of 4 hops on NVLink, so accuracy dips as the
         // communication share grows — the same qualitative gap the paper
@@ -426,8 +419,7 @@ mod tests {
         for p in [4usize, 16, 64] {
             let measured = sim.simulate(&m, &cfg, Strategy::Data { p });
             let projected = estimate(&m, &d, &c, &cfg, Strategy::Data { p });
-            let acc =
-                projection_accuracy(projected.per_epoch.total(), measured.per_epoch.total());
+            let acc = projection_accuracy(projected.per_epoch.total(), measured.per_epoch.total());
             assert!(acc > 0.7, "p={p} accuracy={acc}");
         }
     }
@@ -459,11 +451,7 @@ mod tests {
     fn spatial_has_halo_exchange() {
         let (m, d, c, cfg) = setup();
         let sim = Simulator::new(&d, &c).with_samples(2);
-        let r = sim.simulate(
-            &m,
-            &cfg,
-            Strategy::Spatial { split: SpatialSplit::width_only(4) },
-        );
+        let r = sim.simulate(&m, &cfg, Strategy::Spatial { split: SpatialSplit::width_only(4) });
         assert!(r.per_iteration.halo_exchange > 0.0);
         assert!(r.per_iteration.gradient_exchange > 0.0);
     }
@@ -471,9 +459,7 @@ mod tests {
     #[test]
     fn pipeline_with_more_segments_is_faster() {
         let (m, d, c, cfg) = setup();
-        let sim = Simulator::new(&d, &c)
-            .with_overheads(OverheadModel::ideal())
-            .with_samples(1);
+        let sim = Simulator::new(&d, &c).with_overheads(OverheadModel::ideal()).with_samples(1);
         let few = sim.simulate(&m, &cfg, Strategy::Pipeline { p: 4, segments: 1 });
         let many = sim.simulate(&m, &cfg, Strategy::Pipeline { p: 4, segments: 16 });
         assert!(many.per_epoch.total() < few.per_epoch.total());
@@ -482,9 +468,7 @@ mod tests {
     #[test]
     fn hybrid_df_exhibits_segmented_allreduce_contention() {
         let (m, d, c, cfg) = setup();
-        let sim = Simulator::new(&d, &c)
-            .with_overheads(OverheadModel::ideal())
-            .with_samples(1);
+        let sim = Simulator::new(&d, &c).with_overheads(OverheadModel::ideal()).with_samples(1);
         let df = sim.simulate(&m, &cfg, Strategy::DataFilter { p1: 16, p2: 4 });
         assert!(df.per_iteration.gradient_exchange > 0.0);
         assert!(df.per_iteration.fb_collective > 0.0);

@@ -21,7 +21,7 @@ pub use network::{ForwardTrace, Gradients, SmallCnn, SmallCnnConfig};
 pub use ops::{
     conv2d_backward, conv2d_forward, conv_out_size, global_avg_pool_backward,
     global_avg_pool_forward, linear_backward, linear_forward, maxpool2d_backward,
-    maxpool2d_forward, relu_backward, relu_forward, sgd_step, softmax_cross_entropy,
-    Conv2dGrads, Conv2dParams, LinearGrads,
+    maxpool2d_forward, relu_backward, relu_forward, sgd_step, softmax_cross_entropy, Conv2dGrads,
+    Conv2dParams, LinearGrads,
 };
 pub use tensor::Tensor;

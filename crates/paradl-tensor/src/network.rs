@@ -148,11 +148,8 @@ impl SmallCnn {
         let d_relu2 = global_avg_pool_backward(trace.relu2_out.shape(), &fc.d_input);
         let d_conv2_out = relu_backward(&trace.conv2_out, &d_relu2);
         let conv2 = conv2d_backward(&trace.pool_out, &self.conv2_w, &d_conv2_out, p1);
-        let d_relu1 = maxpool2d_backward(
-            trace.relu1_out.shape(),
-            &trace.pool_argmax,
-            &conv2.d_input,
-        );
+        let d_relu1 =
+            maxpool2d_backward(trace.relu1_out.shape(), &trace.pool_argmax, &conv2.d_input);
         let d_conv1_out = relu_backward(&trace.conv1_out, &d_relu1);
         let conv1 = conv2d_backward(&trace.input, &self.conv1_w, &d_conv1_out, p1);
         Gradients {
@@ -252,10 +249,7 @@ mod tests {
         for _ in 0..10 {
             last = net.train_step(&x, &labels, 0.1);
         }
-        assert!(
-            last < first,
-            "loss should decrease when overfitting one batch: {first} -> {last}"
-        );
+        assert!(last < first, "loss should decrease when overfitting one batch: {first} -> {last}");
     }
 
     #[test]

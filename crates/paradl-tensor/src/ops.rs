@@ -63,8 +63,7 @@ pub fn conv2d_forward(
                                 if iy >= h || ix >= w {
                                     continue;
                                 }
-                                acc += input.get(&[ni, ci, iy, ix])
-                                    * weight.get(&[fi, ci, ky, kx]);
+                                acc += input.get(&[ni, ci, iy, ix]) * weight.get(&[fi, ci, ky, kx]);
                             }
                         }
                     }
@@ -120,14 +119,10 @@ pub fn conv2d_backward(
                                 if iy >= h || ix >= w {
                                     continue;
                                 }
-                                d_input.add_at(
-                                    &[ni, ci, iy, ix],
-                                    g * weight.get(&[fi, ci, ky, kx]),
-                                );
-                                d_weight.add_at(
-                                    &[fi, ci, ky, kx],
-                                    g * input.get(&[ni, ci, iy, ix]),
-                                );
+                                d_input
+                                    .add_at(&[ni, ci, iy, ix], g * weight.get(&[fi, ci, ky, kx]));
+                                d_weight
+                                    .add_at(&[fi, ci, ky, kx], g * input.get(&[ni, ci, iy, ix]));
                             }
                         }
                     }
@@ -176,11 +171,7 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
 }
 
 /// Max-pooling backward: routes each upstream gradient to the argmax element.
-pub fn maxpool2d_backward(
-    input_shape: &[usize],
-    argmax: &[usize],
-    d_out: &Tensor,
-) -> Tensor {
+pub fn maxpool2d_backward(input_shape: &[usize], argmax: &[usize], d_out: &Tensor) -> Tensor {
     let mut d_input = Tensor::zeros(input_shape);
     for (g, &idx) in d_out.data().iter().zip(argmax.iter()) {
         d_input.data_mut()[idx] += g;
@@ -190,10 +181,7 @@ pub fn maxpool2d_backward(
 
 /// ReLU forward.
 pub fn relu_forward(input: &Tensor) -> Tensor {
-    Tensor::from_vec(
-        input.shape(),
-        input.data().iter().map(|&v| v.max(0.0)).collect(),
-    )
+    Tensor::from_vec(input.shape(), input.data().iter().map(|&v| v.max(0.0)).collect())
 }
 
 /// ReLU backward: passes the gradient where the input was positive.
@@ -268,16 +256,15 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert_eq!(labels.len(), n, "one label per sample required");
     let mut loss = 0.0f32;
     let mut grad = Tensor::zeros(&[n, classes]);
-    for ni in 0..n {
+    for (ni, &label) in labels.iter().enumerate() {
         let row: Vec<f32> = (0..classes).map(|c| logits.get(&[ni, c])).collect();
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[ni];
         assert!(label < classes, "label out of range");
         loss -= (exps[label] / sum).ln();
-        for c in 0..classes {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             let target = if c == label { 1.0 } else { 0.0 };
             grad.set(&[ni, c], (p - target) / n as f32);
         }
@@ -311,12 +298,7 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
 
 /// Global average pooling backward.
 pub fn global_avg_pool_backward(input_shape: &[usize], d_out: &Tensor) -> Tensor {
-    let (n, c, h, w) = (
-        input_shape[0],
-        input_shape[1],
-        input_shape[2],
-        input_shape[3],
-    );
+    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
     let mut d_input = Tensor::zeros(input_shape);
     let denom = (h * w) as f32;
     for ni in 0..n {

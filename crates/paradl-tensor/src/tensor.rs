@@ -36,11 +36,7 @@ impl Tensor {
     /// Creates a tensor from raw row-major data; `data.len()` must equal the
     /// product of `shape`.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
-        assert_eq!(
-            shape.iter().product::<usize>(),
-            data.len(),
-            "shape/data length mismatch"
-        );
+        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data length mismatch");
         Tensor { shape: shape.to_vec(), data }
     }
 
@@ -117,12 +113,7 @@ impl Tensor {
     /// Element-wise sum with another tensor of identical shape.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in add");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
         Tensor { shape: self.shape.clone(), data }
     }
 
@@ -136,10 +127,7 @@ impl Tensor {
 
     /// Element-wise scaling by a constant.
     pub fn scale(&self, factor: f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|a| a * factor).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|a| a * factor).collect() }
     }
 
     /// In-place `self -= factor * other` (the SGD update).
@@ -153,11 +141,7 @@ impl Tensor {
     /// Maximum absolute difference to another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Whether all elements are within `tol` of the other tensor's.

@@ -15,10 +15,7 @@ fn main() {
         .with_overheads(OverheadModel::chainermnx_quiet())
         .with_samples(3);
 
-    println!(
-        "{} — oracle vs simulated measurement (per-iteration time)\n",
-        model.name
-    );
+    println!("{} — oracle vs simulated measurement (per-iteration time)\n", model.name);
     println!(
         "{:<22} {:>6} {:>14} {:>14} {:>10}",
         "strategy", "GPUs", "projected (s)", "measured (s)", "accuracy"
@@ -28,10 +25,7 @@ fn main() {
     for p in [16usize, 64, 256] {
         let config = TrainingConfig::imagenet(16 * p);
         let oracle = Oracle::new(&model, &device, &cluster, config);
-        for strategy in [
-            Strategy::Data { p },
-            Strategy::DataFilter { p1: p / 4, p2: 4 },
-        ] {
+        for strategy in [Strategy::Data { p }, Strategy::DataFilter { p1: p / 4, p2: 4 }] {
             let projected = oracle.project(strategy).cost;
             let measured = simulator.simulate(&model, &config, strategy);
             let acc = projection_accuracy(
@@ -57,10 +51,8 @@ fn main() {
         let strategy = Strategy::Filter { p };
         let projected = oracle.project(strategy).cost;
         let measured = simulator.simulate(&model, &config, strategy);
-        let acc = projection_accuracy(
-            projected.per_iteration().total(),
-            measured.per_iteration.total(),
-        );
+        let acc =
+            projection_accuracy(projected.per_iteration().total(), measured.per_iteration.total());
         println!(
             "{:<22} {:>6} {:>14.4} {:>14.4} {:>9.1}%",
             strategy.to_string(),

@@ -59,25 +59,15 @@ fn main() {
     let w = net.conv2_w.clone();
     let b = net.conv2_b.clone();
     let pooled = trace.pool_out.clone();
-    let reference_conv =
-        conv2d_forward(&pooled, &w, &b, Conv2dParams { stride: 1, padding: 1 });
-    let cp = channel_parallel_conv_forward(
-        &pooled,
-        &w,
-        &b,
-        Conv2dParams { stride: 1, padding: 1 },
-        4,
-    );
+    let reference_conv = conv2d_forward(&pooled, &w, &b, Conv2dParams { stride: 1, padding: 1 });
+    let cp =
+        channel_parallel_conv_forward(&pooled, &w, &b, Conv2dParams { stride: 1, padding: 1 }, 4);
     let cp_ok = cp.iter().all(|o| o.approx_eq(&reference_conv, TOL));
     println!("channel parallelism (4 workers):  activations {}", status(cp_ok));
 
     // Spatial parallelism on one convolution: halo exchange + slab assembly.
-    let ref_conv1 = conv2d_forward(
-        &x,
-        &net.conv1_w,
-        &net.conv1_b,
-        Conv2dParams { stride: 1, padding: 1 },
-    );
+    let ref_conv1 =
+        conv2d_forward(&x, &net.conv1_w, &net.conv1_b, Conv2dParams { stride: 1, padding: 1 });
     let slabs = spatial_parallel_conv_forward(&x, &net.conv1_w, &net.conv1_b, 4);
     let sp_ok = Tensor::concat_axis(&slabs, 3).approx_eq(&ref_conv1, TOL);
     println!("spatial parallelism (4 workers):  activations {}", status(sp_ok));

@@ -25,10 +25,7 @@ fn main() {
     println!("Per-GPU memory requirement (16 GB V100):");
     let candidates = [
         ("data, 4 GPUs (1 sample/GPU)", Strategy::Data { p: 4 }),
-        (
-            "spatial, 16 GPUs",
-            Strategy::Spatial { split: SpatialSplit::balanced_3d(16) },
-        ),
+        ("spatial, 16 GPUs", Strategy::Spatial { split: SpatialSplit::balanced_3d(16) }),
         (
             "data+spatial, 4×16 GPUs",
             Strategy::DataSpatial { p1: 4, split: SpatialSplit::balanced_3d(16) },
@@ -46,10 +43,7 @@ fn main() {
     let spatial16 = oracle.project(Strategy::Spatial { split: SpatialSplit::balanced_3d(16) });
     for p1 in [1usize, 4, 16, 64] {
         let p = 16 * p1;
-        let ds = oracle.project(Strategy::DataSpatial {
-            p1,
-            split: SpatialSplit::balanced_3d(16),
-        });
+        let ds = oracle.project(Strategy::DataSpatial { p1, split: SpatialSplit::balanced_3d(16) });
         let speedup = spatial16.cost.epoch_time() / ds.cost.epoch_time();
         println!(
             "{:>6} {:>16.1} {:>18.1} {:>9.1}x",

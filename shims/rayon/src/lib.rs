@@ -1,0 +1,241 @@
+//! Offline stand-in for the subset of [`rayon`](https://docs.rs/rayon) used by
+//! this workspace. The container building this repository cannot reach
+//! crates.io, so this shim reimplements data-parallel iteration on
+//! `std::thread::scope`: items are split into one contiguous chunk per
+//! available core, each chunk is mapped on its own OS thread, and results are
+//! reassembled in order. Unlike real rayon there is no work stealing — chunks
+//! are static — which is adequate for the uniform per-item workloads this
+//! workspace parallelizes (candidate-strategy evaluation).
+//!
+//! Supported surface: `par_iter()` / `into_par_iter()` on slices, `Vec`, and
+//! `Range<usize>`, with `map`, `filter`, `filter_map`, `flat_map`, `collect`
+//! into `Vec`, `min_by`/`max_by`, `sum`, and `count`.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Returns the number of worker threads the shim will use (one per core).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items` in parallel, preserving order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A parallel iterator over owned items.
+///
+/// The pipeline is materialized: every adapter runs one parallel pass. That
+/// differs from rayon's fused lazy pipelines but keeps identical results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: par_map_vec(self.items, f) }
+    }
+
+    /// Keeps the items for which `pred` returns `true`.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, pred: F) -> ParIter<T> {
+        ParIter {
+            items: par_map_vec(self.items, |t| if pred(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Applies `f` in parallel and keeps the `Some` results.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: par_map_vec(self.items, f).into_iter().flatten().collect() }
+    }
+
+    /// Maps each item to an iterator and concatenates the results in order.
+    pub fn flat_map<R, I, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+        I::IntoIter: Send,
+    {
+        ParIter {
+            items: par_map_vec(self.items, |t| f(t).into_iter().collect::<Vec<R>>())
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Collects the items into a container (currently `Vec<T>`).
+    pub fn collect<C: FromParIter<T>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Returns the minimum item under `cmp`, or `None` when empty.
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().min_by(|a, b| cmp(a, b))
+    }
+
+    /// Returns the maximum item under `cmp`, or `None` when empty.
+    pub fn max_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().max_by(|a, b| cmp(a, b))
+    }
+
+    /// Number of items remaining in the pipeline.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Conversion from a [`ParIter`] pipeline into a collection.
+pub trait FromParIter<T> {
+    /// Builds the collection from the pipeline's items.
+    fn from_par_iter(iter: ParIter<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_par_iter(iter: ParIter<T>) -> Self {
+        iter.items
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references are parallel-iterable (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference item type produced.
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references to `self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// The traits needed to call `par_iter()`/`into_par_iter()`.
+pub mod prelude {
+    pub use crate::{FromParIter, IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let doubled: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_matches_serial() {
+        let v: Vec<u64> = (0..257).collect();
+        let par: Vec<u64> = v.par_iter().filter_map(|&x| (x % 3 == 0).then_some(x * x)).collect();
+        let ser: Vec<u64> = v.iter().filter_map(|&x| (x % 3 == 0).then_some(x * x)).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn min_by_and_empty_cases() {
+        let v: Vec<i32> = vec![5, -3, 7, 0];
+        assert_eq!(v.clone().into_par_iter().min_by(|a, b| a.cmp(b)), Some(-3));
+        assert_eq!(v.into_par_iter().max_by(|a, b| a.cmp(b)), Some(7));
+        let empty: Vec<i32> = Vec::new();
+        assert_eq!(empty.into_par_iter().min_by(|a, b| a.cmp(b)), None);
+        let none: Vec<i32> = Vec::new();
+        assert_eq!(none.into_par_iter().map(|x| x).collect::<Vec<_>>(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        let out: Vec<usize> = (0..5).into_par_iter().flat_map(|i| vec![i; i]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        assert!(distinct <= super::current_num_threads().max(1));
+        assert!(distinct >= 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace-level umbrella for the ParaDL reproduction.
+//!
+//! The real API lives in the member crates (see `crates/`); this package
+//! exists to host the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). It simply re-exports the [`paradl`]
+//! facade crate.
+
+#![forbid(unsafe_code)]
+
+pub use paradl::*;

@@ -34,19 +34,16 @@ fn oracle_and_simulator_agree_within_paper_accuracy_for_data_parallelism() {
     let model = paradl::models::resnet50();
     let device = DeviceProfile::v100();
     let cluster = ClusterSpec::paper_system();
-    let sim = Simulator::new(&device, &cluster)
-        .with_overheads(OverheadModel::ideal())
-        .with_samples(1);
+    let sim =
+        Simulator::new(&device, &cluster).with_overheads(OverheadModel::ideal()).with_samples(1);
     let mut accs = Vec::new();
     for p in [16usize, 64, 256] {
         let config = TrainingConfig::imagenet(32 * p);
         let oracle = Oracle::new(&model, &device, &cluster, config);
         let projected = oracle.project(Strategy::Data { p }).cost;
         let measured = sim.simulate(&model, &config, Strategy::Data { p });
-        let acc = projection_accuracy(
-            projected.per_iteration().total(),
-            measured.per_iteration.total(),
-        );
+        let acc =
+            projection_accuracy(projected.per_iteration().total(), measured.per_iteration.total());
         assert!(acc > 0.75, "p={p}: accuracy {acc}");
         accs.push(acc);
     }
@@ -72,10 +69,7 @@ fn suggested_strategy_for_cosmoflow_is_a_spatial_hybrid() {
         .suggest(&Constraints { max_pes: 256, ..Default::default() })
         .expect("some strategy must fit");
     assert!(
-        matches!(
-            best.cost.strategy.kind(),
-            StrategyKind::Spatial | StrategyKind::DataSpatial
-        ),
+        matches!(best.cost.strategy.kind(), StrategyKind::Spatial | StrategyKind::DataSpatial),
         "expected a spatial strategy, got {}",
         best.cost.strategy
     );
@@ -150,14 +144,10 @@ fn table6_diagnoses_are_consistent_with_projections() {
     let oracle = Oracle::new(&model, &device, &cluster, config);
     let filt = oracle.project(Strategy::Filter { p: 64 });
     let diag = diagnose_default(&filt.cost);
-    assert!(diag
-        .findings
-        .iter()
-        .any(|(name, _)| name.contains("layer-wise")));
+    assert!(diag.findings.iter().any(|(name, _)| name.contains("layer-wise")));
     // And the static Table 6 matrix lists that limitation for filter/channel.
     let rows = table6();
     assert!(rows
         .iter()
-        .any(|r| r.remark == "Layer-wise comm."
-            && r.strategies.contains(&StrategyKind::Filter)));
+        .any(|r| r.remark == "Layer-wise comm." && r.strategies.contains(&StrategyKind::Filter)));
 }

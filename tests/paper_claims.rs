@@ -5,11 +5,7 @@ use paradl::prelude::*;
 
 fn imagenet_oracle(model: &Model, batch: usize) -> (DeviceProfile, ClusterSpec, TrainingConfig) {
     let _ = model;
-    (
-        DeviceProfile::v100(),
-        ClusterSpec::paper_system(),
-        TrainingConfig::imagenet(batch),
-    )
+    (DeviceProfile::v100(), ClusterSpec::paper_system(), TrainingConfig::imagenet(batch))
 }
 
 /// Table 5: parameter counts of the evaluated models.
@@ -32,11 +28,9 @@ fn scaling_limits_match_section_5_3_4() {
     assert_eq!(Strategy::max_pes(&resnet, 4096, StrategyKind::Filter), 64);
     assert!(Strategy::Filter { p: 128 }.validate(&vgg, 4096).is_err());
     assert!(Strategy::Pipeline { p: 4, segments: 8 }.validate(&resnet, 4096).is_ok());
-    assert!(
-        Strategy::Pipeline { p: resnet.num_layers() + 1, segments: 8 }
-            .validate(&resnet, 4096)
-            .is_err()
-    );
+    assert!(Strategy::Pipeline { p: resnet.num_layers() + 1, segments: 8 }
+        .validate(&resnet, 4096)
+        .is_err());
 }
 
 /// Figure 7: the weight update is a larger share of compute for VGG16 (large
@@ -90,11 +84,8 @@ fn memory_redundancy_of_model_horizontal_parallelism() {
     let config = TrainingConfig::cosmoflow(4);
     let serial = memory_per_pe(&model, &config, Strategy::Serial);
     let filter = memory_per_pe(&model, &config, Strategy::Filter { p: 16 });
-    let spatial = memory_per_pe(
-        &model,
-        &config,
-        Strategy::Spatial { split: SpatialSplit::balanced_3d(16) },
-    );
+    let spatial =
+        memory_per_pe(&model, &config, Strategy::Spatial { split: SpatialSplit::balanced_3d(16) });
     assert!(filter > 0.9 * serial, "filter should barely help: {filter} vs {serial}");
     assert!(spatial < 0.2 * serial, "spatial should divide activations: {spatial} vs {serial}");
 }
@@ -109,21 +100,11 @@ fn figure5_data_spatial_scaling_is_nearly_linear() {
     let config = TrainingConfig::cosmoflow(64);
     let oracle = Oracle::new(&model, &device, &cluster, config);
     let split = SpatialSplit::balanced_3d(16);
-    let t1 = oracle
-        .project(Strategy::DataSpatial { p1: 1, split })
-        .cost
-        .per_epoch
-        .forward_backward;
-    let t16 = oracle
-        .project(Strategy::DataSpatial { p1: 16, split })
-        .cost
-        .per_epoch
-        .forward_backward;
+    let t1 = oracle.project(Strategy::DataSpatial { p1: 1, split }).cost.per_epoch.forward_backward;
+    let t16 =
+        oracle.project(Strategy::DataSpatial { p1: 16, split }).cost.per_epoch.forward_backward;
     let speedup = t1 / t16;
-    assert!(
-        (14.0..=16.5).contains(&speedup),
-        "compute speedup with 16 data groups = {speedup}"
-    );
+    assert!((14.0..=16.5).contains(&speedup), "compute speedup with 16 data groups = {speedup}");
 }
 
 /// §5.2: the hierarchical (leader-based) Allreduce of Data+Spatial costs more
