@@ -1,0 +1,66 @@
+//! Benchmarks of the precomputed cost engine against the reference search
+//! path (the PR-1 implementation, kept as `Oracle::search_reference`): a
+//! CosmoFlow-scale exhaustive candidate space (> 10 k candidates at 16 Ki
+//! PEs with pipeline × segment cross-products) costed three ways —
+//! per-layer reference walk, engine-backed full ranking, and engine-backed
+//! branch-and-bound top-k search. The acceptance target of the engine work
+//! is `search` ≥ 5× faster than `search_reference` on this space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradl_core::prelude::*;
+
+/// CosmoFlow at 256³ with a 16 Ki PE budget and an exhaustive PE sweep:
+/// ≈ 178 k candidates (data × spatial-factorization × pipeline-segment
+/// cross-products).
+fn cosmoflow_problem() -> (Model, DeviceProfile, ClusterSpec, TrainingConfig, Constraints) {
+    let model = paradl_models::cosmoflow();
+    let device = DeviceProfile::v100();
+    let cluster = ClusterSpec::paper_system();
+    let config = TrainingConfig::cosmoflow(1024);
+    let constraints = Constraints {
+        max_pes: 16 * 1024,
+        pipeline_segments: 512,
+        sweep: PeSweep::Exhaustive,
+        ..Constraints::default()
+    };
+    (model, device, cluster, config, constraints)
+}
+
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let (model, device, cluster, config, constraints) = cosmoflow_problem();
+    let oracle = Oracle::new(&model, &device, &cluster, config);
+    let n = oracle.strategy_space(&constraints).len();
+    assert!(n >= 10_000, "CosmoFlow-scale space too small: {n} candidates");
+
+    c.bench_function("engine/cosmoflow_reference", |b| {
+        b.iter(|| std::hint::black_box(oracle.search_reference(&constraints)))
+    });
+    c.bench_function("engine/cosmoflow_engine_full", |b| {
+        b.iter(|| std::hint::black_box(oracle.search(&constraints)))
+    });
+    let topk = Constraints { top_k: Some(10), ..constraints };
+    c.bench_function("engine/cosmoflow_engine_topk10", |b| {
+        b.iter(|| std::hint::black_box(oracle.search(&topk)))
+    });
+}
+
+fn bench_engine_construction(c: &mut Criterion) {
+    let (model, device, cluster, config, _) = cosmoflow_problem();
+    let oracle = Oracle::new(&model, &device, &cluster, config);
+    c.bench_function("engine/cosmoflow_build_engine", |b| {
+        b.iter(|| std::hint::black_box(oracle.engine()))
+    });
+    c.bench_function("engine/resnet50_build_engine", |b| {
+        let resnet = paradl_models::resnet50();
+        let cfg = TrainingConfig::imagenet(32 * 64);
+        let o = Oracle::new(&resnet, &device, &cluster, cfg);
+        b.iter(|| std::hint::black_box(o.engine()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_vs_reference, bench_engine_construction
+);
+criterion_main!(benches);

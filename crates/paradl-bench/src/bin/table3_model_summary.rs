@@ -34,15 +34,18 @@ fn main() {
             StrategyKind::DataSpatial,
         ),
     ];
+    // All rows share one configuration, so evaluate them through the
+    // precomputed cost engine (one tabulation pass, O(1) per row).
+    let engine = oracle.engine();
     for (strategy, kind) in strategies {
-        let est = oracle.project(strategy).cost;
+        let est = engine.estimate(strategy);
         println!(
             "{:<24} {:>14.1} {:>14.1} {:>14.2} {:>12}",
             strategy.to_string(),
             est.per_epoch.compute(),
             est.per_epoch.communication(),
             est.memory_per_pe_bytes / 1e9,
-            Strategy::max_pes(&model, config.batch_size, kind)
+            engine.limits().max_pes(config.batch_size, kind)
         );
     }
 }

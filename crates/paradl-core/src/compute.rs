@@ -119,6 +119,42 @@ impl ComputeModel for DeviceProfile {
     }
 }
 
+/// Per-layer compute times tabulated once from a [`ComputeModel`], so hot
+/// paths (the search's [`crate::engine::CostEngine`]) can read them as plain
+/// array lookups instead of re-deriving FLOP counts and efficiencies for
+/// every candidate strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTimes {
+    /// `FW_l`: per-sample forward time of each layer, in seconds.
+    pub forward: Vec<f64>,
+    /// `BW_l`: per-sample backward time of each layer, in seconds.
+    pub backward: Vec<f64>,
+    /// `WU_l`: per-iteration weight-update time of each layer, in seconds.
+    pub weight_update: Vec<f64>,
+}
+
+impl LayerTimes {
+    /// Evaluates `device` once per layer of `model` and stores the results.
+    pub fn tabulate<C: ComputeModel + ?Sized>(model: &crate::model::Model, device: &C) -> Self {
+        LayerTimes {
+            forward: model.layers.iter().map(|l| device.forward_time(l)).collect(),
+            backward: model.layers.iter().map(|l| device.backward_time(l)).collect(),
+            weight_update: model.layers.iter().map(|l| device.weight_update_time(l)).collect(),
+        }
+    }
+
+    /// `Σ_l (FW_l + BW_l)`: forward+backward time of one sample through the
+    /// whole model (summed in layer order, matching the direct cost model).
+    pub fn fw_bw_per_sample(&self) -> f64 {
+        self.forward.iter().zip(&self.backward).map(|(f, b)| f + b).sum()
+    }
+
+    /// `Σ_l WU_l`: weight-update time of one iteration for the whole model.
+    pub fn wu_per_iteration(&self) -> f64 {
+        self.weight_update.iter().sum()
+    }
+}
+
 /// A compute model backed by an explicit per-layer table of measured times,
 /// mirroring the paper's empirical parametrization. Falls back to an inner
 /// analytical profile for layers missing from the table.

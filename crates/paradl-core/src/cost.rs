@@ -137,9 +137,11 @@ pub fn estimate<C: ComputeModel + ?Sized>(
 }
 
 /// Like [`estimate`], but reuses a per-PE memory value the caller already
-/// computed (the search prunes on memory before costing, so recomputing it
-/// here would double the memory-model work on the search hot path).
-pub(crate) fn estimate_with_memory<C: ComputeModel + ?Sized>(
+/// computed. This per-layer walk is the *reference* implementation of the
+/// cost model: the search hot path goes through the precomputed
+/// [`crate::engine::CostEngine`] instead, and the engine's property tests
+/// assert it reproduces this function for every strategy kind.
+pub fn estimate_with_memory<C: ComputeModel + ?Sized>(
     model: &Model,
     device: &C,
     cluster: &ClusterSpec,

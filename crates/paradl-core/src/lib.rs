@@ -49,6 +49,7 @@ pub mod comm;
 pub mod compute;
 pub mod config;
 pub mod cost;
+pub mod engine;
 pub mod layer;
 pub mod limits;
 pub mod memory;
@@ -62,15 +63,16 @@ pub mod strategy;
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, CommLevel};
     pub use crate::comm::{CollectiveAlgorithm, CommModel, LinkParams};
-    pub use crate::compute::{ComputeModel, DeviceProfile, TabulatedProfile};
+    pub use crate::compute::{ComputeModel, DeviceProfile, LayerTimes, TabulatedProfile};
     pub use crate::config::TrainingConfig;
-    pub use crate::cost::{estimate, CostEstimate, PhaseBreakdown};
+    pub use crate::cost::{estimate, estimate_with_memory, CostEstimate, PhaseBreakdown};
+    pub use crate::engine::{CostEngine, ModelLimits};
     pub use crate::layer::{Layer, LayerKind};
     pub use crate::limits::{diagnose_default, table6, Issue, IssueClass};
     pub use crate::memory::{fits_in_memory, memory_per_pe, V100_MEMORY_BYTES};
     pub use crate::model::Model;
     pub use crate::oracle::{
-        breakdown_accuracy, projection_accuracy, Constraints, Oracle, Projection,
+        breakdown_accuracy, projection_accuracy, Constraints, Oracle, PeSweep, Projection,
     };
     pub use crate::scaling::{powers_of_two, speedup_over, sweep, ScalingMode, SweepPoint};
     pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};

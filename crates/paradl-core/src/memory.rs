@@ -44,16 +44,7 @@ pub fn memory_per_pe(model: &Model, config: &TrainingConfig, strategy: Strategy)
             let groups = model.balanced_pipeline_groups(p);
             groups
                 .iter()
-                .map(|range| {
-                    model.layers[range.clone()]
-                        .iter()
-                        .map(|l| {
-                            2.0 * b * (l.input_size() + l.output_size()) as f64
-                                + 2.0 * l.weight_count() as f64
-                                + l.bias_count() as f64
-                        })
-                        .sum::<f64>()
-                })
+                .map(|range| pipeline_group_raw(model, b, range.clone()))
                 .fold(0.0, f64::max)
         }
         // M_df: activations split by the data groups p1, weights by p2.
@@ -64,6 +55,20 @@ pub fn memory_per_pe(model: &Model, config: &TrainingConfig, strategy: Strategy)
     };
 
     gamma * delta * raw
+}
+
+/// Raw (pre-`γδ`) memory of one pipeline stage spanning the layer `range`:
+/// `Σ_l (2B(|x_l|+|y_l|) + 2|w_l| + |bi_l|)` — the per-stage term the
+/// search's [`crate::engine::CostEngine`] reproduces through prefix sums.
+pub(crate) fn pipeline_group_raw(model: &Model, b: f64, range: std::ops::Range<usize>) -> f64 {
+    model.layers[range]
+        .iter()
+        .map(|l| {
+            2.0 * b * (l.input_size() + l.output_size()) as f64
+                + 2.0 * l.weight_count() as f64
+                + l.bias_count() as f64
+        })
+        .sum::<f64>()
 }
 
 /// Whether the strategy fits into a per-PE memory capacity (bytes).

@@ -10,11 +10,25 @@ use crate::cluster::ClusterSpec;
 use crate::compute::ComputeModel;
 use crate::config::TrainingConfig;
 use crate::cost::{estimate, CostEstimate, PhaseBreakdown};
+use crate::engine::CostEngine;
 use crate::memory;
 use crate::model::Model;
 use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
 
 pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};
+
+/// How the candidate enumeration sweeps PE counts within each strategy
+/// family's scaling limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PeSweep {
+    /// Powers of two only — the paper's sweep, and the default.
+    #[default]
+    PowersOfTwo,
+    /// Every integer PE count the scaling limits admit. Spaces grow by
+    /// orders of magnitude (CosmoFlow at 16 Ki PEs enumerates > 100 k
+    /// candidates); meant for the engine-backed pruned search.
+    Exhaustive,
+}
 
 /// User constraints for the strategy search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +40,13 @@ pub struct Constraints {
     /// Number of pipeline segments to assume when evaluating the pipeline
     /// strategy.
     pub pipeline_segments: usize,
+    /// When `Some(k)`, [`crate::search`] keeps only the `k` best candidates
+    /// (bounded-heap ranking) and branch-and-bound prunes candidates whose
+    /// compute-only lower bound cannot beat the current winners. `None`
+    /// (default) ranks every feasible candidate and never bound-prunes.
+    pub top_k: Option<usize>,
+    /// PE-count sweep mode of the candidate enumeration.
+    pub sweep: PeSweep,
 }
 
 impl Default for Constraints {
@@ -34,6 +55,8 @@ impl Default for Constraints {
             max_pes: 1024,
             memory_capacity_bytes: memory::V100_MEMORY_BYTES,
             pipeline_segments: 8,
+            top_k: None,
+            sweep: PeSweep::PowersOfTwo,
         }
     }
 }
@@ -80,7 +103,18 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
         Oracle { model, device, cluster, config }
     }
 
-    /// Projects the cost of a single strategy.
+    /// Builds the precomputed [`CostEngine`] for this oracle's problem: one
+    /// `O(layers²)` pass, after which every estimate/memory/lower-bound query
+    /// is `O(1)`. The search, [`Oracle::survey`] and [`Oracle::suggest`] all
+    /// go through it; build one yourself when projecting many strategies
+    /// under the *same* configuration.
+    pub fn engine(&self) -> CostEngine<'a> {
+        CostEngine::new(self.model, self.device, self.cluster, self.config)
+    }
+
+    /// Projects the cost of a single strategy (reference slow path; for
+    /// repeated projections under one configuration prefer
+    /// [`Oracle::engine`]).
     pub fn project(&self, strategy: Strategy) -> Projection {
         self.project_with(strategy, &self.config)
     }
@@ -132,36 +166,51 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
         }
     }
 
+    /// Projects a strategy through a prebuilt [`CostEngine`], flagging memory
+    /// feasibility against `constraints`.
+    fn project_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        strategy: Strategy,
+        constraints: &Constraints,
+    ) -> Projection {
+        let cost = engine.estimate(strategy);
+        Projection {
+            cost,
+            fits_memory: cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes,
+            within_scaling_limit: engine.limits().is_valid(strategy, self.config.batch_size),
+        }
+    }
+
     /// Projects every evaluated strategy family at `p` PEs and returns the
     /// projections (infeasible strategies are included and flagged).
+    /// Evaluated through the precomputed [`CostEngine`].
     pub fn survey(&self, p: usize, constraints: &Constraints) -> Vec<Projection> {
+        let engine = self.engine();
         StrategyKind::EVALUATED
             .iter()
             .map(|&kind| {
                 let s = self.instantiate(kind, p, constraints.pipeline_segments);
-                let mut proj = self.project(s);
-                proj.fits_memory =
-                    proj.cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes;
-                proj
+                self.project_engine(&engine, s, constraints)
             })
             .collect()
     }
 
     /// Suggests the best feasible strategy within the constraints: the one
     /// with the smallest projected epoch time among those that fit memory and
-    /// scaling limits (paper §4.1, first bullet).
+    /// scaling limits (paper §4.1, first bullet). Evaluated through the
+    /// precomputed [`CostEngine`], consistently with the exhaustive search.
     pub fn suggest(&self, constraints: &Constraints) -> Option<Projection> {
+        let engine = self.engine();
         let mut best: Option<Projection> = None;
         for &kind in &StrategyKind::EVALUATED {
-            let max_p = Strategy::max_pes(self.model, self.config.batch_size, kind)
-                .min(constraints.max_pes);
+            let max_p =
+                engine.limits().max_pes(self.config.batch_size, kind).min(constraints.max_pes);
             // Evaluate at powers of two up to the limit (the paper's sweep).
             let mut p = 1usize;
             while p <= max_p {
                 let s = self.instantiate(kind, p, constraints.pipeline_segments);
-                let mut proj = self.project(s);
-                proj.fits_memory =
-                    proj.cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes;
+                let proj = self.project_engine(&engine, s, constraints);
                 if proj.feasible() {
                     let better = match &best {
                         None => true,

@@ -7,22 +7,35 @@
 //! (Table 3): data, spatial (with every divisibility-based
 //! [`SpatialSplit`] factorization), filter, channel, pipeline (crossed with
 //! the micro-batch segment counts) and the data+filter / data+spatial
-//! hybrids. [`Oracle::search`] evaluates the space with rayon across all
-//! cores — pruning memory-infeasible candidates *before* the cost model runs
-//! — and returns a ranked [`SearchReport`]: every feasible candidate sorted
-//! by projected epoch time, plus the best strategy at each power-of-two PE
-//! budget. [`Oracle::search_serial`] is the single-threaded reference used by
-//! tests and the speedup benchmark.
+//! hybrids. PE counts sweep powers of two by default, or every admissible
+//! integer with [`crate::oracle::PeSweep::Exhaustive`]. Validation and limit
+//! checks go through the precomputed [`ModelLimits`] table, so enumerating a
+//! candidate is `O(1)` in the model depth.
+//!
+//! [`Oracle::search`] streams the space through the precomputed
+//! [`CostEngine`] with rayon across all cores: candidates are memory-pruned
+//! before costing, and — when [`Constraints::top_k`] is set — branch-and-bound
+//! pruned against a shared atomic best-cost (a candidate whose compute-only
+//! lower bound cannot beat the current top-k *or* the best candidate in its
+//! PE budget is skipped without costing) while a bounded heap keeps the `k`
+//! best instead of sorting every feasible candidate. The result is a ranked
+//! [`SearchReport`]. [`Oracle::search_serial`] is the single-threaded
+//! engine-backed variant that returns bit-identical results;
+//! [`Oracle::search_reference`] is the original per-layer slow path kept as
+//! the equivalence-tested reference and benchmark baseline.
 
 use crate::compute::ComputeModel;
 use crate::cost::estimate_with_memory;
+use crate::engine::{CostEngine, ModelLimits};
 use crate::memory::memory_per_pe;
 use crate::model::Model;
-use crate::oracle::{Constraints, Oracle, Projection};
+use crate::oracle::{Constraints, Oracle, PeSweep, Projection};
 use crate::scaling::powers_of_two;
 use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
 use rayon::prelude::*;
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The exhaustive candidate space for one (model, batch, constraints)
 /// problem. Construction enumerates and deduplicates all valid candidates;
@@ -33,6 +46,14 @@ pub struct StrategySpace {
     next: usize,
 }
 
+/// PE counts from `lo` to `hi` inclusive under the given sweep mode.
+fn pe_counts(lo: usize, hi: usize, sweep: PeSweep) -> Vec<usize> {
+    match sweep {
+        PeSweep::PowersOfTwo => powers_of_two(lo, hi),
+        PeSweep::Exhaustive => (lo.max(1)..=hi).collect(),
+    }
+}
+
 impl StrategySpace {
     /// Enumerates every candidate strategy for `model` trained with global
     /// mini-batch `batch` under `constraints`. Candidates violating a scaling
@@ -40,70 +61,100 @@ impl StrategySpace {
     /// memory feasibility is intentionally *not* checked here so the search
     /// can report how many candidates its memory pruning removed.
     pub fn new(model: &Model, batch: usize, constraints: &Constraints) -> Self {
+        Self::with_limits(batch, constraints, &ModelLimits::of(model))
+    }
+
+    /// Like [`StrategySpace::new`], but reuses a precomputed [`ModelLimits`]
+    /// table (e.g. the one inside a [`CostEngine`]) so every candidate is
+    /// validated in `O(1)`.
+    pub fn with_limits(batch: usize, constraints: &Constraints, limits: &ModelLimits) -> Self {
         let max_pes = constraints.max_pes.max(1);
-        let mut seen: HashSet<Strategy> = HashSet::new();
+        let sweep = constraints.sweep;
+        let mut candidates: Vec<Strategy> = Vec::new();
         let mut push = |s: Strategy| {
-            if s.total_pes() <= max_pes && s.validate(model, batch).is_ok() {
-                seen.insert(s);
+            if s.total_pes() <= max_pes && limits.is_valid(s, batch) {
+                candidates.push(s);
             }
         };
 
         push(Strategy::Serial);
 
-        for p in powers_of_two(1, max_pes.min(batch)) {
+        for p in pe_counts(1, max_pes.min(batch), sweep) {
             push(Strategy::Data { p });
         }
 
-        let spatial_caps = model.min_spatial_extents();
-        for p in powers_of_two(2, max_pes.min(model.min_spatial_size())) {
-            for split in spatial_factorizations(p, &spatial_caps) {
+        // Divisibility table: all valid factorizations per spatial PE count,
+        // computed once and shared between the pure-spatial and data+spatial
+        // enumerations.
+        let spatial_caps = &limits.min_spatial_extents;
+        let mut split_memo: HashMap<usize, Vec<SpatialSplit>> = HashMap::new();
+
+        for p in pe_counts(2, max_pes.min(limits.min_spatial_size), sweep) {
+            let splits =
+                split_memo.entry(p).or_insert_with(|| spatial_factorizations(p, spatial_caps));
+            for &split in splits.iter() {
                 push(Strategy::Spatial { split });
             }
         }
 
-        for p in powers_of_two(2, max_pes.min(model.min_filters())) {
+        for p in pe_counts(2, max_pes.min(limits.min_filters), sweep) {
             push(Strategy::Filter { p });
         }
 
-        for p in powers_of_two(2, max_pes.min(model.min_channels_after_first())) {
+        for p in pe_counts(2, max_pes.min(limits.min_channels_after_first), sweep) {
             push(Strategy::Channel { p });
         }
 
         let seg_cap = constraints.pipeline_segments.max(1).min(batch);
-        for p in powers_of_two(2, max_pes.min(model.num_layers())) {
-            for segments in powers_of_two(1, seg_cap) {
+        for p in pe_counts(2, max_pes.min(limits.num_layers), sweep) {
+            for segments in pe_counts(1, seg_cap, sweep) {
                 push(Strategy::Pipeline { p, segments });
             }
         }
 
-        for p1 in powers_of_two(1, batch) {
-            for p2 in powers_of_two(2, model.min_filters()) {
-                if p1 * p2 <= max_pes {
-                    push(Strategy::DataFilter { p1, p2 });
+        let filter_counts = pe_counts(2, limits.min_filters, sweep);
+        let spatial_counts = pe_counts(2, limits.min_spatial_size, sweep);
+        for p1 in pe_counts(1, batch, sweep) {
+            for &p2 in &filter_counts {
+                if p1 * p2 > max_pes {
+                    break; // PE counts are ascending in both sweep modes.
                 }
+                push(Strategy::DataFilter { p1, p2 });
             }
-            for p2 in powers_of_two(2, model.min_spatial_size()) {
-                if p1 * p2 <= max_pes {
-                    for split in spatial_factorizations(p2, &spatial_caps) {
-                        push(Strategy::DataSpatial { p1, split });
-                    }
+            for &p2 in &spatial_counts {
+                if p1 * p2 > max_pes {
+                    break;
+                }
+                let splits = split_memo
+                    .entry(p2)
+                    .or_insert_with(|| spatial_factorizations(p2, spatial_caps));
+                for &split in splits.iter() {
+                    push(Strategy::DataSpatial { p1, split });
                 }
             }
         }
 
-        let mut candidates: Vec<Strategy> = seen.into_iter().collect();
+        // The sort key is injective on candidates, so sorting makes any
+        // duplicates adjacent and `dedup` removes them — one hash per
+        // candidate cheaper than the `HashSet` this replaces, and
+        // deterministic without an extra collect.
         candidates.sort_by_key(strategy_sort_key);
+        candidates.dedup();
         StrategySpace { candidates, next: 0 }
     }
 
-    /// Number of candidates in the space (including not-yet-yielded ones).
+    /// Number of candidates **remaining** (not yet yielded by the iterator).
+    /// On a freshly constructed space this is the total candidate count;
+    /// it decreases as the iterator advances, consistently with
+    /// [`StrategySpace::as_slice`] and [`ExactSizeIterator`].
     pub fn len(&self) -> usize {
-        self.candidates.len()
+        self.candidates.len() - self.next.min(self.candidates.len())
     }
 
-    /// Whether the space is empty (it never is: `Serial` always qualifies).
+    /// Whether no candidates remain (a fresh space never is empty: `Serial`
+    /// always qualifies).
     pub fn is_empty(&self) -> bool {
-        self.candidates.is_empty()
+        self.len() == 0
     }
 
     /// The remaining candidates as a slice, without consuming the iterator.
@@ -111,9 +162,9 @@ impl StrategySpace {
         &self.candidates[self.next.min(self.candidates.len())..]
     }
 
-    /// Consumes the space, returning all candidates.
-    pub fn into_vec(self) -> Vec<Strategy> {
-        self.candidates
+    /// Consumes the space, returning the remaining candidates.
+    pub fn into_vec(mut self) -> Vec<Strategy> {
+        self.candidates.split_off(self.next.min(self.candidates.len()))
     }
 }
 
@@ -127,13 +178,17 @@ impl Iterator for StrategySpace {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rest = self.candidates.len().saturating_sub(self.next);
+        let rest = self.len();
         (rest, Some(rest))
     }
 }
 
+impl ExactSizeIterator for StrategySpace {}
+
 /// Deterministic enumeration order: by strategy family, then PE count, then
-/// the family-specific parameters.
+/// the family-specific parameters. Injective on valid candidates (the
+/// omitted parameters are implied by the included ones), which is what lets
+/// the enumerator deduplicate with sort+dedup.
 fn strategy_sort_key(s: &Strategy) -> (u8, usize, usize, usize, usize) {
     let family = match s.kind() {
         StrategyKind::Serial => 0,
@@ -219,6 +274,14 @@ impl RankedCandidate {
     }
 }
 
+/// Full ranking order: epoch time, ties broken by the deterministic
+/// enumeration key.
+fn candidate_cmp(a: &RankedCandidate, b: &RankedCandidate) -> std::cmp::Ordering {
+    a.epoch_time()
+        .total_cmp(&b.epoch_time())
+        .then_with(|| strategy_sort_key(&a.strategy).cmp(&strategy_sort_key(&b.strategy)))
+}
+
 /// The best candidate within one PE budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetWinner {
@@ -235,13 +298,22 @@ pub struct SearchReport {
     pub enumerated: usize,
     /// Candidates discarded by the memory-capacity check before costing.
     pub pruned_by_memory: usize,
-    /// Every costed candidate, fastest first (deterministic order).
+    /// Candidates skipped by branch-and-bound pruning (compute-only lower
+    /// bound already worse than the running winners) before costing. Always
+    /// 0 unless [`Constraints::top_k`] is set. The exact count depends on
+    /// evaluation order and is therefore **not** deterministic across runs —
+    /// only the ranked results are.
+    pub pruned_by_bound: usize,
+    /// The costed candidates, fastest first (deterministic order): every
+    /// feasible candidate when [`Constraints::top_k`] is `None`, otherwise
+    /// the `k` best.
     pub ranked: Vec<RankedCandidate>,
     /// The fastest candidate within each power-of-two PE budget
-    /// `1, 2, 4, …, constraints.max_pes`, ascending. Budgets smaller than
-    /// the smallest feasible candidate's PE count are omitted (don't index
-    /// this positionally); a budget where nothing better fits repeats the
-    /// previous budget's winner.
+    /// `1, 2, 4, …, constraints.max_pes`, ascending — tracked independently
+    /// of `top_k`, so small-budget winners are reported even when they rank
+    /// outside the global top-k. Budgets smaller than the smallest feasible
+    /// candidate's PE count are omitted (don't index this positionally); a
+    /// budget where nothing better fits repeats the previous budget's winner.
     pub best_per_budget: Vec<BudgetWinner>,
 }
 
@@ -254,8 +326,229 @@ impl SearchReport {
 
     /// Number of candidates that were actually costed.
     pub fn evaluated(&self) -> usize {
-        self.enumerated - self.pruned_by_memory
+        self.enumerated - self.pruned_by_memory - self.pruned_by_bound
     }
+}
+
+/// Max-heap entry of the bounded top-k heap: the *worst* retained candidate
+/// sits at the top so it can be evicted in `O(log k)`.
+struct HeapEntry {
+    time_bits: u64,
+    key: (u8, usize, usize, usize, usize),
+    candidate: RankedCandidate,
+}
+
+impl HeapEntry {
+    fn new(candidate: RankedCandidate) -> Self {
+        HeapEntry {
+            // Epoch times are non-negative, so the IEEE-754 bit pattern
+            // orders like the float value.
+            time_bits: candidate.epoch_time().to_bits(),
+            key: strategy_sort_key(&candidate.strategy),
+            candidate,
+        }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_bits, self.key).cmp(&(other.time_bits, other.key))
+    }
+}
+
+/// Budget index of a PE count: the smallest `i` with `2^i ≥ p`.
+fn budget_index(pes: usize) -> usize {
+    pes.max(1).next_power_of_two().trailing_zeros() as usize
+}
+
+/// Lowers a shared non-negative f64 (stored as bits) towards `value`.
+fn atomic_min(cell: &AtomicU64, value: f64) {
+    let new_bits = value.to_bits();
+    let mut current = cell.load(Ordering::Relaxed);
+    while value < f64::from_bits(current) {
+        match cell.compare_exchange_weak(current, new_bits, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// Shared state of one streaming search: prune counters, the per-budget
+/// atomic best costs, and — when `top_k` is set — the bounded heap plus the
+/// atomic k-th-best threshold that drives branch-and-bound pruning. All
+/// updates are monotone (thresholds only decrease), so stale reads are
+/// merely conservative and the final results are order-independent.
+struct SearchShared {
+    top_k: Option<usize>,
+    /// Current k-th best epoch time (bits); `+∞` until the heap holds `k`.
+    threshold: AtomicU64,
+    /// Best epoch time seen per budget index (bits).
+    budget_best: Vec<AtomicU64>,
+    heap: Mutex<BinaryHeap<HeapEntry>>,
+    pruned_memory: AtomicUsize,
+    pruned_bound: AtomicUsize,
+}
+
+impl SearchShared {
+    fn new(constraints: &Constraints) -> Self {
+        let slots = budget_index(constraints.max_pes.max(1)) + 1;
+        SearchShared {
+            top_k: constraints.top_k,
+            threshold: AtomicU64::new(f64::INFINITY.to_bits()),
+            budget_best: (0..slots).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect(),
+            heap: Mutex::new(BinaryHeap::new()),
+            pruned_memory: AtomicUsize::new(0),
+            pruned_bound: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether a candidate with compute-only lower bound `lb` can be skipped:
+    /// it can neither enter the top-k nor win any PE budget it belongs to.
+    fn should_prune(&self, lb: f64, strategy: &Strategy) -> bool {
+        if self.top_k.is_none() {
+            return false;
+        }
+        let threshold = f64::from_bits(self.threshold.load(Ordering::Relaxed));
+        if lb <= threshold {
+            return false;
+        }
+        let idx = budget_index(strategy.total_pes());
+        let budget = f64::from_bits(self.budget_best[idx].load(Ordering::Relaxed));
+        lb > budget
+    }
+
+    /// Records an evaluated candidate in the budget table and top-k heap.
+    fn observe(&self, candidate: &RankedCandidate) {
+        let time = candidate.epoch_time();
+        atomic_min(&self.budget_best[budget_index(candidate.strategy.total_pes())], time);
+        let Some(k) = self.top_k else { return };
+        if k == 0 {
+            return;
+        }
+        // Lock-free fast path: strictly worse than the current k-th best can
+        // never enter the heap (the threshold only decreases).
+        if time > f64::from_bits(self.threshold.load(Ordering::Relaxed)) {
+            return;
+        }
+        let entry = HeapEntry::new(*candidate);
+        let mut heap = self.heap.lock().expect("top-k heap poisoned");
+        if heap.len() < k {
+            heap.push(entry);
+            if heap.len() == k {
+                let worst = heap.peek().expect("non-empty heap");
+                self.threshold.store(worst.time_bits, Ordering::Relaxed);
+            }
+        } else if let Some(worst) = heap.peek() {
+            if entry < *worst {
+                heap.pop();
+                heap.push(entry);
+                let worst = heap.peek().expect("non-empty heap");
+                self.threshold.store(worst.time_bits, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Memory-prunes, bound-prunes, then costs one candidate through the engine.
+fn evaluate_streaming(
+    engine: &CostEngine<'_>,
+    strategy: Strategy,
+    constraints: &Constraints,
+    shared: &SearchShared,
+) -> Option<RankedCandidate> {
+    let mem = engine.memory_per_pe(strategy);
+    if mem > constraints.memory_capacity_bytes {
+        shared.pruned_memory.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    if shared.should_prune(engine.lower_bound(strategy), &strategy) {
+        shared.pruned_bound.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    let cost = engine.estimate_with_memory(strategy, mem);
+    let candidate = RankedCandidate {
+        strategy,
+        projection: Projection { cost, fits_memory: true, within_scaling_limit: true },
+    };
+    shared.observe(&candidate);
+    Some(candidate)
+}
+
+/// Assembles the final report from the streamed outcomes.
+fn finish_report(
+    enumerated: usize,
+    outcomes: Vec<Option<RankedCandidate>>,
+    constraints: &Constraints,
+    shared: SearchShared,
+) -> SearchReport {
+    let survivors: Vec<RankedCandidate> = outcomes.into_iter().flatten().collect();
+    let pruned_by_memory = shared.pruned_memory.load(Ordering::Relaxed);
+    let pruned_by_bound = shared.pruned_bound.load(Ordering::Relaxed);
+    let budgets = powers_of_two(1, constraints.max_pes.max(1));
+
+    let (ranked, best_per_budget) = match shared.top_k {
+        None => {
+            let mut ranked = survivors;
+            ranked.sort_by(candidate_cmp);
+            let mut best_per_budget = Vec::new();
+            for &budget in &budgets {
+                let winner = ranked.iter().find(|c| c.strategy.total_pes() <= budget).copied();
+                if let Some(candidate) = winner {
+                    best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
+                }
+            }
+            (ranked, best_per_budget)
+        }
+        Some(_) => {
+            let heap = shared.heap.into_inner().expect("top-k heap poisoned");
+            let ranked: Vec<RankedCandidate> =
+                heap.into_sorted_vec().into_iter().map(|e| e.candidate).collect();
+            // Budget winners from every evaluated candidate (the bound
+            // pruning guarantees no budget winner was skipped), independent
+            // of the global top-k.
+            let mut slot_best: Vec<Option<RankedCandidate>> = vec![None; budgets.len()];
+            for c in &survivors {
+                let idx = budget_index(c.strategy.total_pes());
+                if let Some(slot) = slot_best.get_mut(idx) {
+                    let better = slot
+                        .map(|cur| candidate_cmp(c, &cur) == std::cmp::Ordering::Less)
+                        .unwrap_or(true);
+                    if better {
+                        *slot = Some(*c);
+                    }
+                }
+            }
+            let mut best_per_budget = Vec::new();
+            let mut running: Option<RankedCandidate> = None;
+            for (i, &budget) in budgets.iter().enumerate() {
+                if let Some(c) = slot_best[i] {
+                    let better = running
+                        .map(|cur| candidate_cmp(&c, &cur) == std::cmp::Ordering::Less)
+                        .unwrap_or(true);
+                    if better {
+                        running = Some(c);
+                    }
+                }
+                if let Some(candidate) = running {
+                    best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
+                }
+            }
+            (ranked, best_per_budget)
+        }
+    };
+
+    SearchReport { enumerated, pruned_by_memory, pruned_by_bound, ranked, best_per_budget }
 }
 
 impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
@@ -265,35 +558,79 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
         StrategySpace::new(self.model, self.config.batch_size, constraints)
     }
 
-    /// Exhaustive strategy search, evaluated in parallel across cores with
-    /// rayon. Memory-infeasible candidates are pruned before the cost model
-    /// runs; the surviving candidates are costed and ranked by projected
-    /// epoch time. Deterministic: returns exactly what [`Oracle::search_serial`]
-    /// returns.
+    /// Exhaustive strategy search through the precomputed [`CostEngine`],
+    /// evaluated in parallel across cores with rayon. Memory-infeasible
+    /// candidates are pruned before the cost model runs; with
+    /// [`Constraints::top_k`] set, candidates whose compute-only lower bound
+    /// cannot beat the running winners are branch-and-bound pruned and only
+    /// the `k` best are kept (bounded heap). Deterministic: returns exactly
+    /// what [`Oracle::search_serial`] returns.
     pub fn search(&self, constraints: &Constraints) -> SearchReport {
+        let engine = self.engine();
+        let candidates =
+            StrategySpace::with_limits(self.config.batch_size, constraints, engine.limits())
+                .into_vec();
+        let shared = SearchShared::new(constraints);
+        let outcomes: Vec<Option<RankedCandidate>> = candidates
+            .par_iter()
+            .map(|&strategy| evaluate_streaming(&engine, strategy, constraints, &shared))
+            .collect();
+        finish_report(candidates.len(), outcomes, constraints, shared)
+    }
+
+    /// Single-threaded variant of [`Oracle::search`] (same engine, same
+    /// pruning), used by the equivalence tests and as the parallel-speedup
+    /// baseline. Returns bit-identical results to the parallel search.
+    pub fn search_serial(&self, constraints: &Constraints) -> SearchReport {
+        let engine = self.engine();
+        let candidates =
+            StrategySpace::with_limits(self.config.batch_size, constraints, engine.limits())
+                .into_vec();
+        let shared = SearchShared::new(constraints);
+        let outcomes: Vec<Option<RankedCandidate>> = candidates
+            .iter()
+            .map(|&strategy| evaluate_streaming(&engine, strategy, constraints, &shared))
+            .collect();
+        finish_report(candidates.len(), outcomes, constraints, shared)
+    }
+
+    /// The original (pre-engine) search path: every candidate re-walks the
+    /// model through [`crate::cost::estimate_with_memory`], every feasible
+    /// candidate is ranked, and no branch-and-bound pruning happens
+    /// ([`Constraints::top_k`] is ignored). Kept as the equivalence-tested
+    /// reference for the engine and as the baseline of the
+    /// `paradl-bench` `engine` benchmark.
+    pub fn search_reference(&self, constraints: &Constraints) -> SearchReport {
         let candidates = self.strategy_space(constraints).into_vec();
         let outcomes: Vec<Option<RankedCandidate>> = candidates
             .par_iter()
-            .map(|&strategy| self.evaluate_candidate(strategy, constraints))
+            .map(|&strategy| self.evaluate_reference(strategy, constraints))
             .collect();
-        self.build_report(candidates.len(), outcomes, constraints)
+
+        let mut ranked: Vec<RankedCandidate> = outcomes.into_iter().flatten().collect();
+        let pruned_by_memory = candidates.len() - ranked.len();
+        ranked.sort_by(candidate_cmp);
+
+        let mut best_per_budget = Vec::new();
+        for budget in powers_of_two(1, constraints.max_pes.max(1)) {
+            let winner = ranked.iter().find(|c| c.strategy.total_pes() <= budget).copied();
+            if let Some(candidate) = winner {
+                best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
+            }
+        }
+
+        SearchReport {
+            enumerated: candidates.len(),
+            pruned_by_memory,
+            pruned_by_bound: 0,
+            ranked,
+            best_per_budget,
+        }
     }
 
-    /// Single-threaded reference implementation of [`Oracle::search`], used
-    /// by the equivalence tests and as the baseline of the speedup benchmark.
-    pub fn search_serial(&self, constraints: &Constraints) -> SearchReport {
-        let candidates = self.strategy_space(constraints).into_vec();
-        let outcomes: Vec<Option<RankedCandidate>> = candidates
-            .iter()
-            .map(|&strategy| self.evaluate_candidate(strategy, constraints))
-            .collect();
-        self.build_report(candidates.len(), outcomes, constraints)
-    }
-
-    /// Memory-prunes then costs one candidate. Returns `None` when the
-    /// candidate cannot fit the per-PE memory capacity (cheap check — no
-    /// cost-model evaluation happens for pruned candidates).
-    fn evaluate_candidate(
+    /// Memory-prunes then costs one candidate through the reference
+    /// (per-layer) cost model.
+    fn evaluate_reference(
         &self,
         strategy: Strategy,
         constraints: &Constraints,
@@ -312,31 +649,6 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
         );
         let projection = Projection { cost, fits_memory: true, within_scaling_limit: true };
         Some(RankedCandidate { strategy, projection })
-    }
-
-    fn build_report(
-        &self,
-        enumerated: usize,
-        outcomes: Vec<Option<RankedCandidate>>,
-        constraints: &Constraints,
-    ) -> SearchReport {
-        let mut ranked: Vec<RankedCandidate> = outcomes.into_iter().flatten().collect();
-        let pruned_by_memory = enumerated - ranked.len();
-        ranked.sort_by(|a, b| {
-            a.epoch_time()
-                .total_cmp(&b.epoch_time())
-                .then_with(|| strategy_sort_key(&a.strategy).cmp(&strategy_sort_key(&b.strategy)))
-        });
-
-        let mut best_per_budget = Vec::new();
-        for budget in powers_of_two(1, constraints.max_pes.max(1)) {
-            let winner = ranked.iter().find(|c| c.strategy.total_pes() <= budget).copied();
-            if let Some(candidate) = winner {
-                best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
-            }
-        }
-
-        SearchReport { enumerated, pruned_by_memory, ranked, best_per_budget }
     }
 }
 
@@ -367,6 +679,15 @@ mod tests {
         Constraints { max_pes: 256, ..Constraints::default() }
     }
 
+    fn oracle_parts() -> (Model, DeviceProfile, ClusterSpec, TrainingConfig) {
+        (
+            model(),
+            DeviceProfile::v100(),
+            ClusterSpec::paper_system(),
+            TrainingConfig::small(8192, 64),
+        )
+    }
+
     #[test]
     fn space_covers_all_strategy_kinds() {
         let m = model();
@@ -394,6 +715,52 @@ mod tests {
     }
 
     #[test]
+    fn len_reports_remaining_candidates() {
+        let m = model();
+        let mut space = StrategySpace::new(&m, 64, &constraints());
+        let total = space.len();
+        assert!(total > 2);
+        assert_eq!(space.as_slice().len(), total);
+        space.next();
+        space.next();
+        assert_eq!(space.len(), total - 2, "len must track the iterator");
+        assert_eq!(space.as_slice().len(), total - 2);
+        assert_eq!(space.clone().count(), total - 2);
+        assert_eq!(space.clone().into_vec().len(), total - 2);
+        // ExactSizeIterator agrees with the explicit len.
+        let drained: Vec<Strategy> = space.by_ref().collect();
+        assert_eq!(drained.len(), total - 2);
+        assert!(space.is_empty());
+        assert_eq!(space.len(), 0);
+    }
+
+    #[test]
+    fn exhaustive_sweep_enumerates_every_admissible_pe_count() {
+        let m = model();
+        let c = Constraints {
+            max_pes: 64,
+            sweep: crate::oracle::PeSweep::Exhaustive,
+            ..Default::default()
+        };
+        let space = StrategySpace::new(&m, 48, &c);
+        let data_counts: Vec<usize> = space
+            .clone()
+            .filter_map(|s| match s {
+                Strategy::Data { p } => Some(p),
+                _ => None,
+            })
+            .collect();
+        // Every p from 1 to min(max_pes, batch) = 48 must appear.
+        assert_eq!(data_counts, (1..=48).collect::<Vec<_>>());
+        // The power-of-two space is a strict subset.
+        let pow2 = StrategySpace::new(&m, 48, &Constraints { max_pes: 64, ..Default::default() });
+        let dense: std::collections::HashSet<Strategy> = space.collect();
+        for s in pow2 {
+            assert!(dense.contains(&s), "{s} missing from the exhaustive space");
+        }
+    }
+
+    #[test]
     fn spatial_candidates_enumerate_factorizations() {
         let m = model();
         let space = StrategySpace::new(&m, 64, &constraints());
@@ -410,10 +777,7 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_search_agree_exactly() {
-        let m = model();
-        let d = DeviceProfile::v100();
-        let cl = ClusterSpec::paper_system();
-        let cfg = TrainingConfig::small(8192, 64);
+        let (m, d, cl, cfg) = oracle_parts();
         let oracle = Oracle::new(&m, &d, &cl, cfg);
         let c = constraints();
         let par = oracle.search(&c);
@@ -430,11 +794,84 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_agree_with_pruning() {
+        let (m, d, cl, cfg) = oracle_parts();
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let c = Constraints { top_k: Some(5), ..constraints() };
+        let par = oracle.search(&c);
+        let ser = oracle.search_serial(&c);
+        assert_eq!(par.ranked.len(), ser.ranked.len());
+        for (a, b) in par.ranked.iter().zip(&ser.ranked) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.projection, b.projection);
+        }
+        assert_eq!(par.best_per_budget.len(), ser.best_per_budget.len());
+        for (a, b) in par.best_per_budget.iter().zip(&ser.best_per_budget) {
+            assert_eq!(a.max_pes, b.max_pes);
+            assert_eq!(a.candidate.strategy, b.candidate.strategy);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_prefix_of_full_ranking() {
+        let (m, d, cl, cfg) = oracle_parts();
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let full = oracle.search(&constraints());
+        for k in [1usize, 3, 10] {
+            let pruned = oracle.search(&Constraints { top_k: Some(k), ..constraints() });
+            assert_eq!(pruned.enumerated, full.enumerated);
+            assert_eq!(pruned.ranked.len(), k.min(full.ranked.len()));
+            for (a, b) in pruned.ranked.iter().zip(&full.ranked) {
+                assert_eq!(a.strategy, b.strategy, "top-{k} diverges from the full ranking");
+                assert_eq!(a.projection, b.projection);
+            }
+            // Budget winners are tracked independently of top-k.
+            assert_eq!(pruned.best_per_budget.len(), full.best_per_budget.len());
+            for (a, b) in pruned.best_per_budget.iter().zip(&full.best_per_budget) {
+                assert_eq!(a.max_pes, b.max_pes);
+                assert_eq!(
+                    a.candidate.strategy, b.candidate.strategy,
+                    "budget {} winner",
+                    a.max_pes
+                );
+            }
+            // Accounting stays consistent.
+            assert_eq!(
+                pruned.evaluated() + pruned.pruned_by_memory + pruned.pruned_by_bound,
+                pruned.enumerated
+            );
+        }
+    }
+
+    #[test]
+    fn engine_search_matches_reference_search() {
+        let (m, d, cl, cfg) = oracle_parts();
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let c = constraints();
+        let fast = oracle.search(&c);
+        let slow = oracle.search_reference(&c);
+        assert_eq!(fast.enumerated, slow.enumerated);
+        assert_eq!(fast.pruned_by_memory, slow.pruned_by_memory);
+        assert_eq!(fast.ranked.len(), slow.ranked.len());
+        // Phase times agree to ~1e-9 relative; compare by candidate (the
+        // engine reassociates sums, so near-ties may swap rank positions).
+        let mut fast_sorted = fast.ranked.clone();
+        let mut slow_sorted = slow.ranked.clone();
+        fast_sorted.sort_by_key(|c| strategy_sort_key(&c.strategy));
+        slow_sorted.sort_by_key(|c| strategy_sort_key(&c.strategy));
+        for (a, b) in fast_sorted.iter().zip(&slow_sorted) {
+            assert_eq!(a.strategy, b.strategy);
+            let (ta, tb) = (a.epoch_time(), b.epoch_time());
+            assert!((ta - tb).abs() <= 1e-9 * ta.max(tb), "{}: {ta} vs {tb}", a.strategy);
+        }
+        let (fb, sb) = (fast.best().unwrap(), slow.best().unwrap());
+        let (ta, tb) = (fb.epoch_time(), sb.epoch_time());
+        assert!((ta - tb).abs() <= 1e-9 * ta.max(tb), "best diverged: {ta} vs {tb}");
+    }
+
+    #[test]
     fn search_prunes_under_tight_memory() {
-        let m = model();
-        let d = DeviceProfile::v100();
-        let cl = ClusterSpec::paper_system();
-        let cfg = TrainingConfig::small(8192, 64);
+        let (m, d, cl, cfg) = oracle_parts();
         let oracle = Oracle::new(&m, &d, &cl, cfg);
         let tight = Constraints { memory_capacity_bytes: 1.0, max_pes: 64, ..Default::default() };
         let report = oracle.search(&tight);
@@ -446,10 +883,7 @@ mod tests {
 
     #[test]
     fn budget_winners_are_monotone_in_budget() {
-        let m = model();
-        let d = DeviceProfile::v100();
-        let cl = ClusterSpec::paper_system();
-        let cfg = TrainingConfig::small(8192, 64);
+        let (m, d, cl, cfg) = oracle_parts();
         let oracle = Oracle::new(&m, &d, &cl, cfg);
         let report = oracle.search(&constraints());
         assert!(!report.best_per_budget.is_empty());
@@ -471,10 +905,7 @@ mod tests {
 
     #[test]
     fn search_winner_is_at_least_as_good_as_suggest() {
-        let m = model();
-        let d = DeviceProfile::v100();
-        let cl = ClusterSpec::paper_system();
-        let cfg = TrainingConfig::small(8192, 64);
+        let (m, d, cl, cfg) = oracle_parts();
         let oracle = Oracle::new(&m, &d, &cl, cfg);
         let c = Constraints::default();
         let best = oracle.search(&c).best().unwrap().projection;

@@ -1,0 +1,129 @@
+//! Property-based equivalence tests of the precomputed [`CostEngine`]
+//! against the reference per-layer cost/memory model: for *any* random CNN,
+//! configuration and candidate strategy, the engine must reproduce
+//! `estimate` / `estimate_with_memory` / `memory_per_pe` (to floating-point
+//! reassociation tolerance), its compute-only lower bound must be
+//! admissible, and the branch-and-bound pruned search must never drop the
+//! true optimum.
+
+use paradl_core::prelude::*;
+use proptest::prelude::{prop_assert, prop_oneof, proptest, Just, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+
+/// A small random CNN, mirroring the generator in `proptest_search.rs`.
+fn arb_model() -> impl PropStrategy<Value = Model> {
+    let spatial = prop_oneof![Just(16usize), Just(32), Just(64)];
+    let depth = 1usize..5;
+    (spatial, depth, 4usize..32, 2usize..8).prop_map(|(s, depth, base_ch, classes)| {
+        let mut layers = Vec::new();
+        let mut ch = 3usize;
+        let mut hw = s;
+        for i in 0..depth {
+            let out = base_ch * (i + 1);
+            layers.push(Layer::conv2d(format!("conv{i}"), ch, out, (hw, hw), 3, 1, 1));
+            if hw >= 8 {
+                layers.push(Layer::pool2d(format!("pool{i}"), out, (hw, hw), 2, 2));
+                hw /= 2;
+            }
+            ch = out;
+        }
+        layers.push(Layer::global_pool("gpool", ch, &[hw, hw]));
+        layers.push(Layer::fully_connected("fc", ch, classes));
+        Model::new("random", 3, vec![s, s], layers)
+    })
+}
+
+fn arb_config() -> impl PropStrategy<Value = TrainingConfig> {
+    (512usize..8192, 3usize..8).prop_map(|(d, logb)| TrainingConfig::small(d, 1 << logb))
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+/// Candidate strategies to compare: the whole (power-of-two) strategy space
+/// of the model, which covers every strategy kind incl. all spatial
+/// factorizations, capped for test runtime.
+fn sample_candidates(model: &Model, batch: usize) -> Vec<Strategy> {
+    let constraints = Constraints { max_pes: 256, ..Constraints::default() };
+    StrategySpace::new(model, batch, &constraints).take(400).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_matches_reference_for_every_candidate(
+        model in arb_model(),
+        config in arb_config(),
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let engine = CostEngine::new(&model, &device, &cluster, config);
+        for s in sample_candidates(&model, config.batch_size) {
+            let fast = engine.estimate(s);
+            let slow = estimate(&model, &device, &cluster, &config, s);
+            prop_assert!(fast.iterations == slow.iterations);
+            for (name, a, b) in [
+                ("fw/bw", fast.per_epoch.forward_backward, slow.per_epoch.forward_backward),
+                ("wu", fast.per_epoch.weight_update, slow.per_epoch.weight_update),
+                ("ge", fast.per_epoch.gradient_exchange, slow.per_epoch.gradient_exchange),
+                ("fb-coll", fast.per_epoch.fb_collective, slow.per_epoch.fb_collective),
+                ("halo", fast.per_epoch.halo_exchange, slow.per_epoch.halo_exchange),
+                ("p2p", fast.per_epoch.pipeline_p2p, slow.per_epoch.pipeline_p2p),
+            ] {
+                prop_assert!(rel_close(a, b), "{s}: {name} engine={a} reference={b}");
+            }
+            let (ma, mb) = (engine.memory_per_pe(s), memory_per_pe(&model, &config, s));
+            prop_assert!(rel_close(ma, mb), "{s}: memory engine={ma} reference={mb}");
+            // The engine's reusable-memory variant matches too.
+            let reused = engine.estimate_with_memory(s, ma);
+            prop_assert!(reused.per_epoch == fast.per_epoch);
+            let slow_reused =
+                estimate_with_memory(&model, &device, &cluster, &config, s, mb);
+            prop_assert!(slow_reused.per_epoch == slow.per_epoch);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_admissible(
+        model in arb_model(),
+        config in arb_config(),
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let engine = CostEngine::new(&model, &device, &cluster, config);
+        for s in sample_candidates(&model, config.batch_size) {
+            let lb = engine.lower_bound(s);
+            let total = engine.estimate(s).epoch_time();
+            prop_assert!(lb <= total, "{s}: lower bound {lb} exceeds total {total}");
+            prop_assert!(lb >= 0.0 && lb.is_finite());
+        }
+    }
+
+    #[test]
+    fn pruned_search_finds_the_reference_optimum(
+        model in arb_model(),
+        config in arb_config(),
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let oracle = Oracle::new(&model, &device, &cluster, config);
+        let constraints = Constraints { max_pes: 256, ..Constraints::default() };
+        let reference = oracle.search_reference(&constraints);
+        let pruned = oracle.search(&Constraints { top_k: Some(1), ..constraints });
+        match (reference.best(), pruned.best()) {
+            (Some(a), Some(b)) => {
+                let (ta, tb) = (a.epoch_time(), b.epoch_time());
+                prop_assert!(
+                    rel_close(ta, tb),
+                    "pruned optimum {} ({tb}) diverged from reference {} ({ta})",
+                    b.strategy, a.strategy
+                );
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+        prop_assert!(reference.pruned_by_memory == pruned.pruned_by_memory);
+    }
+}

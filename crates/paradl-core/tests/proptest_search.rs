@@ -35,6 +35,7 @@ fn arb_constraints() -> impl PropStrategy<Value = Constraints> {
         max_pes: 1 << log_pes,
         memory_capacity_bytes: mem_gib * 1024.0 * 1024.0 * 1024.0,
         pipeline_segments: 1 << log_seg,
+        ..Constraints::default()
     })
 }
 
@@ -95,6 +96,65 @@ proptest! {
             );
             prop_assert!(candidate.epoch_time().is_finite());
             prop_assert!(candidate.epoch_time() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn top_k_pruning_never_drops_the_true_winners(
+        model in arb_model(),
+        config in arb_config(),
+        constraints in arb_constraints(),
+        k in 1usize..8,
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let oracle = Oracle::new(&model, &device, &cluster, config);
+        let full = oracle.search(&constraints);
+        let pruned_constraints = Constraints { top_k: Some(k), ..constraints };
+        let pruned = oracle.search(&pruned_constraints);
+        let serial = oracle.search_serial(&pruned_constraints);
+        // The bounded-heap ranking is exactly the prefix of the full ranking.
+        prop_assert!(pruned.ranked.len() == k.min(full.ranked.len()));
+        for (a, b) in pruned.ranked.iter().zip(&full.ranked) {
+            prop_assert!(a.strategy == b.strategy, "{} != {}", a.strategy, b.strategy);
+            prop_assert!(a.projection == b.projection);
+        }
+        // Budget winners are unaffected by pruning.
+        prop_assert!(pruned.best_per_budget.len() == full.best_per_budget.len());
+        for (a, b) in pruned.best_per_budget.iter().zip(&full.best_per_budget) {
+            prop_assert!(a.max_pes == b.max_pes);
+            prop_assert!(a.candidate.strategy == b.candidate.strategy);
+        }
+        // Parallel and serial pruned searches return identical results.
+        prop_assert!(pruned.ranked.len() == serial.ranked.len());
+        for (a, b) in pruned.ranked.iter().zip(&serial.ranked) {
+            prop_assert!(a.strategy == b.strategy);
+            prop_assert!(a.projection == b.projection);
+        }
+        // Accounting adds up.
+        prop_assert!(
+            pruned.evaluated() + pruned.pruned_by_memory + pruned.pruned_by_bound
+                == pruned.enumerated
+        );
+    }
+
+    #[test]
+    fn exhaustive_sweep_contains_the_pow2_space(
+        model in arb_model(),
+        config in arb_config(),
+        constraints in arb_constraints(),
+    ) {
+        use paradl_core::oracle::PeSweep;
+        // Keep the dense space small enough for a property test.
+        let constraints = Constraints { max_pes: constraints.max_pes.min(64), ..constraints };
+        let dense_constraints = Constraints { sweep: PeSweep::Exhaustive, ..constraints };
+        let pow2: Vec<Strategy> =
+            StrategySpace::new(&model, config.batch_size, &constraints).collect();
+        let dense: std::collections::HashSet<Strategy> =
+            StrategySpace::new(&model, config.batch_size, &dense_constraints).collect();
+        prop_assert!(dense.len() >= pow2.len());
+        for s in pow2 {
+            prop_assert!(dense.contains(&s), "{s} missing from the exhaustive space");
         }
     }
 

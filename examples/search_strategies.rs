@@ -32,6 +32,17 @@ fn main() {
         report.evaluated()
     );
 
+    // The same search with branch-and-bound pruning: keep only the top 10,
+    // skip candidates whose compute-only lower bound can't beat the running
+    // winners. Same ranking prefix and budget winners, less work.
+    let pruned = oracle.search(&Constraints { top_k: Some(10), ..constraints });
+    println!(
+        "top-k search: {} bound-pruned, {} costed, same winner: {}\n",
+        pruned.pruned_by_bound,
+        pruned.evaluated(),
+        pruned.best().map(|b| b.strategy == report.best().unwrap().strategy).unwrap_or(false),
+    );
+
     println!("top 10 strategies by projected epoch time:");
     println!(
         "{:<30} {:>6} {:>14} {:>14} {:>12}",
