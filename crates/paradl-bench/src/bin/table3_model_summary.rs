@@ -1,7 +1,9 @@
 //! Table 3: the analytical model itself — per-strategy per-epoch computation
 //! time, communication time, maximum memory per PE and the scaling limit,
 //! evaluated symbolically on ResNet-50 so the relative structure of the
-//! formulas is visible as numbers.
+//! formulas is visible as numbers — followed by a best-strategy summary of
+//! every Table-5 model across a batch sweep, answered by one amortized
+//! `GridSweep` instead of per-model oracle rebuilds.
 
 use paradl_core::prelude::*;
 
@@ -47,5 +49,43 @@ fn main() {
             est.memory_per_pe_bytes / 1e9,
             engine.limits().max_pes(config.batch_size, kind)
         );
+    }
+
+    // Best strategy per Table-5 model × global batch on the paper system,
+    // answered as one batched QueryGrid: engines, cluster tables and
+    // candidate enumerations are amortized across all cells by the
+    // GridSweep instead of being rebuilt per query.
+    let batches = [256usize, 512, 1024];
+    let constraints = Constraints { max_pes: 1024, top_k: Some(1), ..Constraints::default() };
+    let mut grid = QueryGrid::new(constraints).with_batches(batches).with_cluster(cluster.clone());
+    let models = paradl_models::paper_models();
+    for m in &models {
+        let base = if m.name.starts_with("CosmoFlow") {
+            TrainingConfig::cosmoflow(batches[0])
+        } else {
+            TrainingConfig::imagenet(batches[0])
+        };
+        grid = grid.with_model(m.clone(), base);
+    }
+    let report = GridSweep::new().run(&grid);
+
+    println!(
+        "\nBest strategy per model × batch (GridSweep over the Table-5 zoo, max_pes = {})\n",
+        constraints.max_pes
+    );
+    println!("{:<14} {:>6} {:<28} {:>6} {:>14}", "model", "B", "best strategy", "PEs", "epoch (s)");
+    for cell in &report.cells {
+        let name = &grid.models()[cell.query.model].model.name;
+        match cell.report.best() {
+            Some(best) => println!(
+                "{:<14} {:>6} {:<28} {:>6} {:>14.2}",
+                name,
+                cell.query.batch,
+                best.strategy.to_string(),
+                best.strategy.total_pes(),
+                best.epoch_time()
+            ),
+            None => println!("{:<14} {:>6} {:<28}", name, cell.query.batch, "infeasible"),
+        }
     }
 }

@@ -340,14 +340,13 @@ pub fn hierarchical_allreduce_time(
     t
 }
 
-/// Contention coefficient φ of the segmented Allreduce used by Data+Filter:
-/// one Allreduce per GPU-of-a-node runs concurrently over the same inter-node
-/// link, so φ equals the number of segments sharing the link (paper uses 2×
-/// for its two-rail nodes; with `gpus_per_node` segments over `rails = 2`
-/// rails this is `gpus_per_node / rails`).
+/// Contention coefficient φ of the segmented Allreduce used by Data+Filter
+/// (paper §5.2). Forwards to
+/// [`ClusterSpec::segmented_allreduce_contention`], where the
+/// topology-derived quantity now lives so the per-cluster
+/// [`crate::cluster::ClusterCache`] can tabulate it.
 pub fn segmented_allreduce_contention(cluster: &ClusterSpec, group_size: usize) -> f64 {
-    let rails = 2.0;
-    (group_size.min(cluster.gpus_per_node) as f64 / rails).max(1.0)
+    cluster.segmented_allreduce_contention(group_size)
 }
 
 #[cfg(test)]

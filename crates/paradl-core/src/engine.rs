@@ -8,20 +8,50 @@
 //! identical between candidates.
 //!
 //! [`CostEngine`] precomputes, once per (model, device, cluster, config)
-//! problem, every model-dependent table the cost formulas need:
+//! problem, every model-dependent table the cost formulas need. The tables
+//! fall into two classes, and the split is **load-bearing** for
+//! [`CostEngine::rebatch`] (which rewrites only the second class when the
+//! global batch changes, e.g. across the cells of a
+//! [`crate::grid::QueryGrid`]):
 //!
-//! * per-layer `FW`/`BW`/`WU` times ([`LayerTimes`]) and their totals,
-//! * activation/weight/bias element totals for the memory model,
-//! * per-pipeline-depth aggregates (bottleneck stage times, boundary
-//!   activation sizes, max per-stage memory) for every `p ≤ G`,
+//! **Batch-invariant** (held in one [`std::sync::Arc`]-shared core, so
+//! rebatched siblings of an engine share it without copying):
+//!
+//! * per-layer `FW`/`BW`/`WU` times ([`LayerTimes`]) and their totals — the
+//!   device model is only a function of layer shapes,
+//! * activation/weight/bias element totals for the memory model (the batch
+//!   factor is applied at query time),
+//! * per-pipeline-depth aggregates for every `p ≤ G`: bottleneck stage
+//!   times, boundary activation sizes, and the per-stage memory split into
+//!   `(activation, static)` element pairs — the balanced grouping depends
+//!   only on per-layer FLOPs, never on the batch,
 //! * halo-exchange aggregates per split-dimension mask (which of the ≤ 3
 //!   spatial dimensions are split — the only thing the halo volume depends
 //!   on),
 //! * memoized collective-time building blocks keyed by communicator size for
 //!   the gradient-exchange Allreduce of the data, spatial, data+filter and
-//!   data+spatial strategies,
+//!   data+spatial strategies — derived from the topology tables of a
+//!   [`ClusterCache`] that can itself be `Arc`-shared between every engine
+//!   on the same cluster ([`CostEngine::with_cache`]),
 //! * the model's scaling-limit table ([`ModelLimits`]) used by candidate
 //!   enumeration and validation.
+//!
+//! **Batch-dependent** (rewritten in place by [`CostEngine::rebatch`],
+//! `O(layers²)` float max/fma operations, no allocation, no device, layer or
+//! topology queries):
+//!
+//! * the stored [`TrainingConfig`]'s `batch_size` (iteration counts and the
+//!   per-sample → per-batch factors are derived from it at query time),
+//! * the per-depth maximum pipeline-stage memory, re-maximized from the
+//!   batch-invariant `(activation, static)` pairs as
+//!   `max_i (2·B·act_i + static_i)`.
+//!
+//! Because `rebatch` re-runs exactly the arithmetic [`CostEngine::new`] runs
+//! for the batch-dependent tables (same per-group pairs, same fold order), a
+//! rebatched engine is **byte-for-byte identical** to an engine freshly
+//! built at the new batch — which is what lets [`crate::grid::GridSweep`]
+//! answer a whole batch sweep from one engine while returning exactly what
+//! per-query searches would.
 //!
 //! After construction, [`CostEngine::estimate`], [`CostEngine::memory_per_pe`]
 //! and [`CostEngine::lower_bound`] all run in `O(1)` per candidate (no
@@ -33,17 +63,19 @@
 //! full ranking in ≈ 0.17 s (≈ 1.4 M candidates/s), and the engine with
 //! top-10 pruning in ≈ 0.08 s (≈ 2.9 M candidates/s) — a 5–10× end-to-end
 //! speedup, with engine construction itself costing ≈ 17 µs (CosmoFlow) to
-//! ≈ 170 µs (ResNet-50).
+//! ≈ 170–230 µs (ResNet-50), and a [`CostEngine::rebatch`] ≈ 36 µs on
+//! ResNet-50 — ≈ 7× cheaper than the rebuild it replaces
+//! (`paradl-bench/benches/grid.rs`).
 //!
 //! The engine is numerically *equivalent* to the reference model (same
-//! formulas, refactored around precomputed aggregates) but not bit-identical:
-//! sums are reassociated, so individual phase times can differ by a few ULPs.
-//! Property tests in `tests/proptest_engine.rs` pin the relative error below
-//! `1e-9` for every strategy kind. Within one engine the results are fully
-//! deterministic, which is why the parallel and serial searches agree
-//! exactly.
+//! formulas, refactored around precomputed aggregates) but not bit-identical
+//! to it: sums are reassociated, so individual phase times can differ by a
+//! few ULPs. Property tests in `tests/proptest_engine.rs` pin the relative
+//! error below `1e-9` for every strategy kind. Within one engine the results
+//! are fully deterministic, which is why the parallel and serial searches
+//! agree exactly.
 
-use crate::cluster::ClusterSpec;
+use crate::cluster::{ClusterCache, ClusterSpec, MAX_LOG2_PES};
 use crate::comm::CommModel;
 use crate::compute::{ComputeModel, LayerTimes};
 use crate::config::TrainingConfig;
@@ -52,17 +84,13 @@ use crate::cost::{
 };
 use crate::model::Model;
 use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
-
-/// Largest exponent of the power-of-two collective tables (`2^24` = 16 Mi
-/// PEs, far beyond any machine the oracle models). Non-power-of-two
-/// communicator sizes fall back to the closed-form Hockney formulas, which
-/// are themselves `O(1)`.
-const MAX_LOG2_PES: usize = 24;
+use std::sync::Arc;
 
 /// Precomputed scaling-limit table of one model (paper Table 3, last
 /// column): the quantities [`Strategy::validate`] re-derives by walking the
 /// layer list on every call. Candidate enumeration consults this table so
-/// validating a candidate is `O(1)`.
+/// validating a candidate is `O(1)`. Batch-invariant: the batch enters
+/// [`ModelLimits::is_valid`] as an argument, never the table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelLimits {
     /// Number of layers `G` (pipeline-parallel limit).
@@ -125,8 +153,10 @@ impl ModelLimits {
     }
 }
 
-/// Aggregates of one pipeline depth `p`: everything the pipeline cost and
-/// memory formulas need, reduced over the balanced layer groups.
+/// Batch-invariant aggregates of one pipeline depth `p`: the compute and
+/// boundary quantities of the balanced layer groups. The per-stage memory is
+/// *not* here — it depends on the batch and lives in `CostEngine::pipe_mem`,
+/// re-derived by `rebatch` from [`EngineCore::pipe_mem_parts`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 struct PipelineAgg {
     /// Bottleneck per-sample forward time `max_Gi Σ FW_l`.
@@ -140,13 +170,13 @@ struct PipelineAgg {
     max_boundary_act: f64,
     /// Whether any stage boundary exists (`groups > 1`).
     has_boundary: bool,
-    /// Raw (pre-`γδ`) memory of the largest stage.
-    mem_raw: f64,
 }
 
 /// Replica of [`Model::balanced_pipeline_groups`] operating on a flat
 /// per-layer FLOP array (same greedy algorithm, same accumulation order, so
-/// the groupings are identical) without re-querying layer shapes.
+/// the groupings are identical) without re-querying layer shapes. FLOPs do
+/// not depend on the batch, so neither do the groupings — which is what
+/// makes the per-group memory parts batch-invariant.
 fn balanced_groups(flops: &[u64], p: usize) -> Vec<std::ops::Range<usize>> {
     let p = p.clamp(1, flops.len().max(1));
     let total: u64 = flops.iter().sum();
@@ -173,7 +203,8 @@ fn balanced_groups(flops: &[u64], p: usize) -> Vec<std::ops::Range<usize>> {
 /// Memoized gradient-exchange collective times, keyed by power-of-two
 /// communicator sizes. Entry `[i]` (or `[i][j]`) holds the time for
 /// `p = 2^i` (and group size `p2 = 2^j`); non-power-of-two sizes use the
-/// closed-form fallback.
+/// closed-form fallback. Batch-invariant: the exchanged buffer is the weight
+/// gradient, whose size is `Σ|w|·δ` regardless of the batch.
 #[derive(Debug, Clone)]
 struct CollectiveTables {
     /// `flat[i]`: Allreduce of the full weight buffer over `2^i` PEs
@@ -187,16 +218,15 @@ struct CollectiveTables {
     ds: Vec<Vec<f64>>,
 }
 
-/// The precomputed cost engine for one (model, device, cluster, config)
-/// problem. See the [module docs](crate::engine) for what is tabulated; all
-/// per-candidate queries are `O(1)` and allocation-free.
-#[derive(Debug, Clone)]
-pub struct CostEngine<'a> {
-    model: &'a Model,
-    cluster: &'a ClusterSpec,
-    config: TrainingConfig,
+/// The batch-invariant tables of a [`CostEngine`], shared behind an
+/// [`Arc`] so [`CostEngine::rebatched`] siblings (one per batch of a grid
+/// sweep) cost one pointer copy instead of re-tabulating — or re-cloning —
+/// any of this.
+#[derive(Debug)]
+struct EngineCore {
+    /// Scaling limits (model-only).
     limits: ModelLimits,
-    /// Per-layer `FW`/`BW`/`WU` tables.
+    /// Per-layer `FW`/`BW`/`WU` tables (model × device only).
     times: LayerTimes,
     /// `Σ_l (FW_l + BW_l)` per sample.
     fw_bw_per_sample: f64,
@@ -204,7 +234,8 @@ pub struct CostEngine<'a> {
     wu_per_iteration: f64,
     /// `Σ_l |w_l| · δ` in bytes (the gradient-exchange buffer).
     total_weight_bytes: f64,
-    /// `Σ_l (|x_l| + |y_l|)` in elements (memory model).
+    /// `Σ_l (|x_l| + |y_l|)` in elements (memory model; multiplied by the
+    /// batch at query time).
     act_io_sum: f64,
     /// `Σ_l |w_l|` in elements (memory model).
     weight_sum: f64,
@@ -222,23 +253,72 @@ pub struct CostEngine<'a> {
     /// `halo_elems[mask]`: `Σ_l (halo(x_l) + halo(dL/dy_l))` elements for the
     /// same masks.
     halo_elems: [f64; 8],
-    /// `pipeline[p-1]`: aggregates of the balanced `p`-stage pipeline.
+    /// `pipeline[p-1]`: batch-invariant aggregates of the balanced `p`-stage
+    /// pipeline.
     pipeline: Vec<PipelineAgg>,
+    /// Flat triangular table of per-stage memory parts: for depth `p`, the
+    /// `p` entries starting at offset `p(p-1)/2` hold each stage's
+    /// `(Σ(|x|+|y|), Σ(2|w|+|bi|))` element pair; the batch-dependent stage
+    /// memory is `2·B·act + static`, re-maximized by [`CostEngine::rebatch`].
+    pipe_mem_parts: Vec<(f64, f64)>,
     /// Memoized gradient-exchange collectives.
     tables: CollectiveTables,
     /// `γ · δ`: the factor applied to raw memory element counts.
     gamma_delta: f64,
 }
 
+/// The precomputed cost engine for one (model, device, cluster, config)
+/// problem. See the [module docs](crate::engine) for what is tabulated and
+/// which tables are batch-invariant; all per-candidate queries are `O(1)`
+/// and allocation-free.
+#[derive(Debug, Clone)]
+pub struct CostEngine<'a> {
+    model: &'a Model,
+    cluster: &'a ClusterSpec,
+    /// Batch-dependent: `config.batch_size` is the only field
+    /// [`CostEngine::rebatch`] rewrites (everything else in the config feeds
+    /// the batch-invariant core).
+    config: TrainingConfig,
+    /// Batch-invariant tables, `Arc`-shared between rebatched siblings.
+    core: Arc<EngineCore>,
+    /// Batch-dependent: `pipe_mem[p-1]` is the raw (pre-`γδ`) memory of the
+    /// largest stage of the balanced `p`-stage pipeline at the current batch.
+    pipe_mem: Vec<f64>,
+    /// Batch-dependent: cached `config.iterations_per_epoch()` (the
+    /// estimate hot path reads it several times per candidate).
+    iters: usize,
+    /// `iters` as `f64`.
+    iters_f: f64,
+}
+
 impl<'a> CostEngine<'a> {
     /// Builds the engine: one `O(layers²)` precomputation pass (the quadratic
-    /// part is the per-depth pipeline table; everything else is linear).
+    /// part is the per-depth pipeline table; everything else is linear),
+    /// deriving the topology tables from a private [`ClusterCache`]. When
+    /// building several engines on the same cluster, build the cache once
+    /// and use [`CostEngine::with_cache`] instead.
     pub fn new<C: ComputeModel + ?Sized>(
         model: &'a Model,
         device: &C,
         cluster: &'a ClusterSpec,
         config: TrainingConfig,
     ) -> Self {
+        Self::with_cache(model, device, cluster, config, &ClusterCache::new(cluster))
+    }
+
+    /// Like [`CostEngine::new`], but reuses a (typically
+    /// [`Arc`]-shared) [`ClusterCache`] of `cluster`'s topology-derived
+    /// communication models, so the collective tables skip the per-engine
+    /// model derivation. Produces byte-for-byte the same engine as
+    /// [`CostEngine::new`] — the cache holds models, not times.
+    pub fn with_cache<C: ComputeModel + ?Sized>(
+        model: &'a Model,
+        device: &C,
+        cluster: &'a ClusterSpec,
+        config: TrainingConfig,
+        cache: &ClusterCache,
+    ) -> Self {
+        debug_assert_eq!(cache.cluster(), cluster, "ClusterCache reused across clusters");
         let times = LayerTimes::tabulate(model, device);
         let fw_bw_per_sample = times.fw_bw_per_sample();
         let wu_per_iteration = times.wu_per_iteration();
@@ -282,7 +362,9 @@ impl<'a> CostEngine<'a> {
         // recomputed from a flat FLOP array with the exact greedy algorithm of
         // `Model::balanced_pipeline_groups`, and all per-group sums become
         // prefix-sum differences — no per-depth allocation or layer re-walk.
-        let b = config.batch_size as f64;
+        // The per-group memory is kept as batch-invariant (activation,
+        // static) element pairs so `rebatch` can re-maximize without
+        // re-deriving groups.
         let flops: Vec<u64> =
             model.layers.iter().map(|l| l.flops_forward() + l.flops_backward()).collect();
         let prefix = |xs: &dyn Fn(usize) -> f64| -> Vec<f64> {
@@ -298,11 +380,12 @@ impl<'a> CostEngine<'a> {
         let fw_prefix = prefix(&|i| times.forward[i]);
         let bw_prefix = prefix(&|i| times.backward[i]);
         let wu_prefix = prefix(&|i| times.weight_update[i]);
-        let mem_prefix =
-            prefix(&|i| 2.0 * b * (in_sizes[i] + out_sizes[i]) + 2.0 * weights[i] + biases[i]);
+        let act_prefix = prefix(&|i| in_sizes[i] + out_sizes[i]);
+        let static_prefix = prefix(&|i| 2.0 * weights[i] + biases[i]);
         let range_sum = |pfx: &[f64], r: &std::ops::Range<usize>| pfx[r.end] - pfx[r.start];
 
         let mut pipeline = Vec::with_capacity(g);
+        let mut pipe_mem_parts = Vec::with_capacity(g * (g + 1) / 2);
         for p in 1..=g {
             let groups = balanced_groups(&flops, p);
             let mut agg = PipelineAgg { has_boundary: groups.len() > 1, ..Default::default() };
@@ -313,16 +396,15 @@ impl<'a> CostEngine<'a> {
                 if gi + 1 < groups.len() {
                     agg.max_boundary_act = agg.max_boundary_act.max(out_sizes[range.end - 1]);
                 }
-                agg.mem_raw = agg.mem_raw.max(range_sum(&mem_prefix, range));
+                pipe_mem_parts
+                    .push((range_sum(&act_prefix, range), range_sum(&static_prefix, range)));
             }
             pipeline.push(agg);
         }
 
-        let tables = CollectiveTables::build(cluster, total_weight_bytes);
+        let tables = CollectiveTables::build(cache, total_weight_bytes);
 
-        CostEngine {
-            model,
-            cluster,
+        let core = EngineCore {
             limits: ModelLimits::of(model),
             times,
             fw_bw_per_sample,
@@ -336,10 +418,61 @@ impl<'a> CostEngine<'a> {
             halo_pairs,
             halo_elems,
             pipeline,
+            pipe_mem_parts,
             tables,
             gamma_delta: config.memory_reuse * delta,
+        };
+        let mut engine = CostEngine {
+            model,
+            cluster,
             config,
+            core: Arc::new(core),
+            pipe_mem: vec![0.0; g],
+            iters: 0,
+            iters_f: 0.0,
+        };
+        // Fill the batch-dependent pipeline-memory table through the same
+        // code path `rebatch` uses, so fresh and rebatched engines are
+        // byte-for-byte identical.
+        engine.rebatch(config.batch_size);
+        engine
+    }
+
+    /// Switches the engine to a new global mini-batch `batch`, rewriting
+    /// only the batch-dependent tables: the stored `batch_size` and the
+    /// per-depth pipeline stage memory (re-maximized from the precomputed
+    /// per-group `(activation, static)` pairs). `O(layers²)` float
+    /// operations, zero allocation, and no device, layer or topology
+    /// queries — a small fraction of a full [`CostEngine::new`].
+    ///
+    /// The result is byte-for-byte identical to building a fresh engine
+    /// whose config differs only in `batch_size` (property-tested in
+    /// `tests/proptest_engine.rs`).
+    pub fn rebatch(&mut self, batch: usize) {
+        self.config.batch_size = batch;
+        self.iters = self.config.iterations_per_epoch();
+        self.iters_f = self.iters as f64;
+        let b = batch as f64;
+        let mut off = 0usize;
+        for (depth0, slot) in self.pipe_mem.iter_mut().enumerate() {
+            let groups = depth0 + 1; // depth p has exactly p balanced groups
+            let mut mem = 0.0f64;
+            for &(act, stat) in &self.core.pipe_mem_parts[off..off + groups] {
+                mem = mem.max(2.0 * b * act + stat);
+            }
+            *slot = mem;
+            off += groups;
         }
+    }
+
+    /// A sibling engine at a different global mini-batch, sharing every
+    /// batch-invariant table with `self` through the [`Arc`]-held core
+    /// (the clone copies one pointer and the `O(layers)` pipeline-memory
+    /// vector, then [`CostEngine::rebatch`]es it).
+    pub fn rebatched(&self, batch: usize) -> Self {
+        let mut sibling = self.clone();
+        sibling.rebatch(batch);
+        sibling
     }
 
     /// The model this engine was built for.
@@ -347,19 +480,25 @@ impl<'a> CostEngine<'a> {
         self.model
     }
 
-    /// The training configuration this engine was built for.
+    /// The cluster this engine was built for.
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.cluster
+    }
+
+    /// The training configuration this engine was built for (its
+    /// `batch_size` tracks the latest [`CostEngine::rebatch`]).
     pub fn config(&self) -> &TrainingConfig {
         &self.config
     }
 
     /// The precomputed scaling-limit table.
     pub fn limits(&self) -> &ModelLimits {
-        &self.limits
+        &self.core.limits
     }
 
     /// The per-layer compute-time tables.
     pub fn layer_times(&self) -> &LayerTimes {
-        &self.times
+        &self.core.times
     }
 
     /// Maximum memory (bytes) required on one PE, `O(1)` equivalent of
@@ -371,13 +510,13 @@ impl<'a> CostEngine<'a> {
             Strategy::Data { p } => self.mem_raw(1.0, 1.0, b / p as f64),
             Strategy::Spatial { split } => self.mem_raw(split.total() as f64, 1.0, b),
             Strategy::Filter { p } | Strategy::Channel { p } => self.mem_raw(1.0, p as f64, b),
-            Strategy::Pipeline { p, .. } => self.pipeline_agg(p).mem_raw,
+            Strategy::Pipeline { p, .. } => self.pipe_mem[self.depth_index(p)],
             Strategy::DataFilter { p1, p2 } => self.mem_raw(p1 as f64, p2 as f64, b),
             Strategy::DataSpatial { p1, split } => {
                 self.mem_raw((p1 * split.total()) as f64, 1.0, b)
             }
         };
-        self.gamma_delta * raw
+        self.core.gamma_delta * raw
     }
 
     /// Full cost estimate, `O(1)` equivalent of [`crate::cost::estimate`].
@@ -395,7 +534,7 @@ impl<'a> CostEngine<'a> {
     ) -> CostEstimate {
         let d = self.config.dataset_size as f64;
         let b = self.config.batch_size as f64;
-        let iters = self.config.iterations_per_epoch() as f64;
+        let iters = self.iters_f;
         let delta = self.config.bytes_per_item;
 
         let mut breakdown = PhaseBreakdown::default();
@@ -445,12 +584,7 @@ impl<'a> CostEngine<'a> {
             }
         }
 
-        CostEstimate {
-            strategy,
-            per_epoch: breakdown,
-            iterations: self.config.iterations_per_epoch(),
-            memory_per_pe_bytes,
-        }
+        CostEstimate { strategy, per_epoch: breakdown, iterations: self.iters, memory_per_pe_bytes }
     }
 
     /// Admissible lower bound on the per-epoch time of `strategy`: its
@@ -468,19 +602,20 @@ impl<'a> CostEngine<'a> {
     /// compute part shared by [`CostEngine::estimate_with_memory`] and
     /// [`CostEngine::lower_bound`].
     fn compute_terms(&self, strategy: Strategy) -> (f64, f64) {
+        let core = &*self.core;
         let d = self.config.dataset_size as f64;
-        let iters = self.config.iterations_per_epoch() as f64;
+        let iters = self.iters_f;
         match strategy {
-            Strategy::Serial => (d * self.fw_bw_per_sample, iters * self.wu_per_iteration),
+            Strategy::Serial => (d * core.fw_bw_per_sample, iters * core.wu_per_iteration),
             Strategy::Data { p } => {
-                (d / p as f64 * self.fw_bw_per_sample, iters * self.wu_per_iteration)
+                (d / p as f64 * core.fw_bw_per_sample, iters * core.wu_per_iteration)
             }
             Strategy::Spatial { split } => {
-                (d / split.total() as f64 * self.fw_bw_per_sample, iters * self.wu_per_iteration)
+                (d / split.total() as f64 * core.fw_bw_per_sample, iters * core.wu_per_iteration)
             }
             Strategy::Filter { p } | Strategy::Channel { p } => {
                 let pf = p as f64;
-                (d / pf * self.fw_bw_per_sample, iters / pf * self.wu_per_iteration)
+                (d / pf * core.fw_bw_per_sample, iters / pf * core.wu_per_iteration)
             }
             Strategy::Pipeline { p, segments } => {
                 let agg = self.pipeline_agg(p);
@@ -490,35 +625,41 @@ impl<'a> CostEngine<'a> {
             }
             Strategy::DataFilter { p1, p2 } => {
                 let p = (p1 * p2) as f64;
-                (d / p * self.fw_bw_per_sample, iters / p2 as f64 * self.wu_per_iteration)
+                (d / p * core.fw_bw_per_sample, iters / p2 as f64 * core.wu_per_iteration)
             }
             Strategy::DataSpatial { p1, split } => {
                 let p = (p1 * split.total()) as f64;
-                (d / p * self.fw_bw_per_sample, iters * self.wu_per_iteration)
+                (d / p * core.fw_bw_per_sample, iters * core.wu_per_iteration)
             }
         }
     }
 
     /// `Σ_l (2·batch·(|x|+|y|)/act_div + 2|w|/weight_div + |bi|)`, factored
-    /// over the precomputed element totals.
+    /// over the precomputed element totals. The batch enters here at query
+    /// time — the totals themselves are batch-invariant.
     fn mem_raw(&self, act_div: f64, weight_div: f64, batch: f64) -> f64 {
-        2.0 * batch * self.act_io_sum / act_div + 2.0 * self.weight_sum / weight_div + self.bias_sum
+        let core = &*self.core;
+        2.0 * batch * core.act_io_sum / act_div + 2.0 * core.weight_sum / weight_div + core.bias_sum
+    }
+
+    /// Clamped index of pipeline depth `p` into the per-depth tables.
+    fn depth_index(&self, p: usize) -> usize {
+        p.clamp(1, self.core.pipeline.len().max(1)) - 1
     }
 
     fn pipeline_agg(&self, p: usize) -> PipelineAgg {
-        let idx = p.clamp(1, self.pipeline.len().max(1)) - 1;
-        self.pipeline[idx]
+        self.core.pipeline[self.depth_index(p)]
     }
 
     /// Flat ring/tree Allreduce of the full weight buffer
     /// (`total_weight_bytes`) over `p` PEs, memoized for power-of-two `p`.
     fn weight_allreduce(&self, p: usize) -> f64 {
         if p.is_power_of_two() {
-            if let Some(&t) = self.tables.flat.get(p.trailing_zeros() as usize) {
+            if let Some(&t) = self.core.tables.flat.get(p.trailing_zeros() as usize) {
                 return t;
             }
         }
-        self.cluster.comm_model(p).allreduce(p, self.total_weight_bytes)
+        self.cluster.comm_model(p).allreduce(p, self.core.total_weight_bytes)
     }
 
     /// Data+filter gradient exchange: segmented inter-group Allreduce of the
@@ -526,11 +667,11 @@ impl<'a> CostEngine<'a> {
     fn df_allreduce(&self, p1: usize, p2: usize) -> f64 {
         if p1.is_power_of_two() && p2.is_power_of_two() {
             let (i, j) = (p1.trailing_zeros() as usize, p2.trailing_zeros() as usize);
-            if let Some(&t) = self.tables.df.get(i).and_then(|row| row.get(j)) {
+            if let Some(&t) = self.core.tables.df.get(i).and_then(|row| row.get(j)) {
                 return t;
             }
         }
-        CollectiveTables::df_entry(self.cluster, self.total_weight_bytes, p1, p2)
+        CollectiveTables::df_entry(self.cluster, self.core.total_weight_bytes, p1, p2)
     }
 
     /// Data+spatial gradient exchange: hierarchical leader-based Allreduce
@@ -538,43 +679,49 @@ impl<'a> CostEngine<'a> {
     fn ds_allreduce(&self, p1: usize, p2: usize) -> f64 {
         if p1.is_power_of_two() && p2.is_power_of_two() {
             let (i, j) = (p1.trailing_zeros() as usize, p2.trailing_zeros() as usize);
-            if let Some(&t) = self.tables.ds.get(i).and_then(|row| row.get(j)) {
+            if let Some(&t) = self.core.tables.ds.get(i).and_then(|row| row.get(j)) {
                 return t;
             }
         }
-        CollectiveTables::ds_entry(self.cluster, self.total_weight_bytes, p1, p2)
+        CollectiveTables::ds_entry(self.cluster, self.core.total_weight_bytes, p1, p2)
     }
 
     /// Halo-exchange time for one iteration over the precomputed
     /// per-split-mask aggregates (paper Eq. 10).
     fn halo_time(&self, comm: &CommModel, split: SpatialSplit, batch: f64) -> f64 {
+        let core = &*self.core;
         let mask = (usize::from(split.pw > 1))
             | (usize::from(split.ph > 1) << 1)
             | (usize::from(split.pd > 1) << 2);
         let delta = self.config.bytes_per_item;
-        2.0 * (self.halo_pairs[mask] * 2.0 * comm.p2p(0.0)
-            + batch * self.halo_elems[mask] * delta * comm.link.beta)
+        2.0 * (core.halo_pairs[mask] * 2.0 * comm.p2p(0.0)
+            + batch * core.halo_elems[mask] * delta * comm.link.beta)
     }
 
     /// Layer-wise collective time of filter/channel parallelism for one
     /// iteration (paper Eq. 15/19), over the precomputed activation total.
     fn layerwise_collective(&self, comm: &CommModel, p: usize, p_total: usize, batch: f64) -> f64 {
+        let core = &*self.core;
         if p <= 1 {
             return 0.0;
         }
         let delta = self.config.bytes_per_item;
         let act_bytes_sum =
-            batch * self.act_out_except_last / p_total as f64 * delta * comm.contention;
+            batch * core.act_out_except_last / p_total as f64 * delta * comm.contention;
         3.0 * (p as f64 - 1.0)
-            * (self.collective_layers * comm.link.alpha + act_bytes_sum * comm.link.beta)
+            * (core.collective_layers * comm.link.alpha + act_bytes_sum * comm.link.beta)
     }
 }
 
 impl CollectiveTables {
-    fn build(cluster: &ClusterSpec, weight_bytes: f64) -> Self {
+    /// Evaluates the memoized collective times from the cluster's cached
+    /// communication models. Value-identical to deriving each model on the
+    /// fly (the fallback entries below), since the cache stores models, not
+    /// times, and both paths share the same core formulas.
+    fn build(cache: &ClusterCache, weight_bytes: f64) -> Self {
         let n = MAX_LOG2_PES + 1;
         let flat: Vec<f64> =
-            (0..n).map(|i| cluster.comm_model(1 << i).allreduce(1 << i, weight_bytes)).collect();
+            (0..n).map(|i| cache.pow2(i).allreduce(1 << i, weight_bytes)).collect();
         let mut df = Vec::with_capacity(n);
         let mut ds = Vec::with_capacity(n);
         for i in 0..n {
@@ -582,8 +729,20 @@ impl CollectiveTables {
             let mut ds_row = Vec::with_capacity(n);
             for j in 0..n {
                 if i + j <= MAX_LOG2_PES {
-                    df_row.push(Self::df_entry(cluster, weight_bytes, 1 << i, 1 << j));
-                    ds_row.push(Self::ds_entry(cluster, weight_bytes, 1 << i, 1 << j));
+                    df_row.push(Self::df_core(
+                        cache.inter_group(i, j),
+                        cache.segmented_phi(j),
+                        1 << i,
+                        1 << j,
+                        weight_bytes,
+                    ));
+                    ds_row.push(Self::ds_core(
+                        cache.intra(j),
+                        cache.inter_group(i, j),
+                        1 << i,
+                        1 << j,
+                        weight_bytes,
+                    ));
                 } else {
                     break;
                 }
@@ -594,17 +753,37 @@ impl CollectiveTables {
         CollectiveTables { flat, df, ds }
     }
 
+    /// Data+filter gradient-exchange time from already-derived communication
+    /// models: the single formula shared by the power-of-two table above and
+    /// the non-power-of-two fallback below, so the two can never drift.
+    fn df_core(inter: &CommModel, phi: f64, p1: usize, p2: usize, weight_bytes: f64) -> f64 {
+        inter.with_contention(phi).allreduce(p1, weight_bytes / p2 as f64)
+    }
+
+    /// Data+spatial gradient-exchange time from already-derived models (see
+    /// [`CollectiveTables::df_core`]).
+    fn ds_core(intra: &CommModel, inter: &CommModel, p1: usize, p2: usize, bytes: f64) -> f64 {
+        hierarchical_allreduce_time(intra, inter, p2, p1, bytes)
+    }
+
     fn df_entry(cluster: &ClusterSpec, weight_bytes: f64, p1: usize, p2: usize) -> f64 {
-        let inter = cluster
-            .comm_model_inter_group(p1, p2)
-            .with_contention(segmented_allreduce_contention(cluster, p2));
-        inter.allreduce(p1, weight_bytes / p2 as f64)
+        Self::df_core(
+            &cluster.comm_model_inter_group(p1, p2),
+            segmented_allreduce_contention(cluster, p2),
+            p1,
+            p2,
+            weight_bytes,
+        )
     }
 
     fn ds_entry(cluster: &ClusterSpec, weight_bytes: f64, p1: usize, p2: usize) -> f64 {
-        let intra = cluster.comm_model(p2.min(cluster.gpus_per_node));
-        let inter = cluster.comm_model_inter_group(p1, p2);
-        hierarchical_allreduce_time(&intra, &inter, p2, p1, weight_bytes)
+        Self::ds_core(
+            &cluster.comm_model(p2.min(cluster.gpus_per_node)),
+            &cluster.comm_model_inter_group(p1, p2),
+            p1,
+            p2,
+            weight_bytes,
+        )
     }
 }
 
@@ -689,6 +868,77 @@ mod tests {
             let fast = engine.memory_per_pe(s);
             let slow = memory_per_pe(&m, &cfg, s);
             assert!(rel_close(fast, slow), "{s}: engine={fast} reference={slow}");
+        }
+    }
+
+    #[test]
+    fn rebatch_is_byte_identical_to_fresh_build() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let base = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64));
+        for batch in [8usize, 32, 64, 96, 256] {
+            let fresh = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, batch));
+            let rebatched = base.rebatched(batch);
+            assert_eq!(rebatched.config(), fresh.config());
+            for s in strategies() {
+                // Exact equality, not tolerance: rebatch re-runs the same
+                // arithmetic over the same shared tables.
+                assert_eq!(
+                    rebatched.memory_per_pe(s),
+                    fresh.memory_per_pe(s),
+                    "{s} memory at B={batch}"
+                );
+                assert_eq!(rebatched.estimate(s), fresh.estimate(s), "{s} estimate at B={batch}");
+                assert_eq!(
+                    rebatched.lower_bound(s),
+                    fresh.lower_bound(s),
+                    "{s} bound at B={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebatched_siblings_share_the_core() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let base = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64));
+        let sibling = base.rebatched(128);
+        assert!(Arc::ptr_eq(&base.core, &sibling.core), "rebatch must not copy the core");
+        assert_eq!(sibling.config().batch_size, 128);
+        assert_eq!(base.config().batch_size, 64, "rebatched must not mutate the original");
+    }
+
+    #[test]
+    fn memoized_collective_tables_match_fallback_formulas() {
+        // The power-of-two tables are built from the ClusterCache's derived
+        // communication models; the non-power-of-two runtime path derives
+        // the models on the fly. Both must produce bit-identical times for
+        // the sizes the tables cover (the cache holds models, not times,
+        // and both paths share df_core/ds_core).
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(4096, 64);
+        let engine = CostEngine::with_cache(&m, &d, &c, cfg, &c.cache());
+        let w = m.total_weights() as f64 * cfg.bytes_per_item;
+        let tables = &engine.core.tables;
+        for i in 0..10usize {
+            assert_eq!(tables.flat[i], c.comm_model(1 << i).allreduce(1 << i, w), "flat[{i}]");
+            for j in 0..10usize {
+                assert_eq!(
+                    tables.df[i][j],
+                    CollectiveTables::df_entry(&c, w, 1 << i, 1 << j),
+                    "df[{i}][{j}]"
+                );
+                assert_eq!(
+                    tables.ds[i][j],
+                    CollectiveTables::ds_entry(&c, w, 1 << i, 1 << j),
+                    "ds[{i}][{j}]"
+                );
+            }
         }
     }
 

@@ -1,0 +1,739 @@
+//! Amortized multi-query oracle: evaluate a whole configuration grid
+//! (model × global batch × cluster) at near-single-query cost.
+//!
+//! The oracle is most useful when queried many times — across models, batch
+//! sizes, clusters and PE budgets, exactly the grids the paper's tables and
+//! figures sweep. A naive sweep calls [`Oracle::search`] per cell and pays,
+//! for every cell, a full [`CostEngine`] tabulation, a candidate-space
+//! enumeration (including its serial sort) and the evaluation pass.
+//! [`GridSweep`] answers the same grid while amortizing everything shareable:
+//!
+//! * **engines** — one [`CostEngine`] per (model, cluster) pair; the other
+//!   batches of the grid get [`CostEngine::rebatch`]ed siblings that share
+//!   every batch-invariant table through the engine's `Arc`-held core,
+//! * **topology tables** — one [`ClusterCache`] per cluster
+//!   ([`std::sync::Arc`]-shared), so every engine on a cluster reuses its
+//!   communication-model derivations,
+//! * **candidate spaces** — one enumerated superset per model at the
+//!   largest batch; each batch's space is an order-preserving `O(1)`-per-
+//!   candidate filter of the superset (valid because every batch-dependent
+//!   enumeration bound is also checked by [`ModelLimits::is_valid`], and
+//!   validity is monotone in the batch, so each candidate resolves its
+//!   validity once at the smallest admitting batch), so the `O(n log n)`
+//!   sort+dedup runs once per model instead of once per cell,
+//! * **evaluation prep** — per-PE memory and the compute-only lower bound
+//!   are cluster-independent given the device profile, so one
+//!   structure-of-arrays prep pass per (model, batch, device) feeds every
+//!   cluster cell sharing that device: the memory pruning, its counter, and
+//!   the bound column are computed once instead of once per cell,
+//! * **reporting** — in top-k mode only the `k` best and the per-budget
+//!   winners are reported, so they are folded incrementally (two relaxed
+//!   atomic reads for the common non-improving candidate) instead of
+//!   materializing the hundreds of thousands of costed candidates per cell
+//!   that the streaming search would collect and re-scan,
+//! * **parallelism** — evaluation is split into fixed-size candidate chunks
+//!   interleaved round-robin across *all* cells and run rayon-parallel, so
+//!   one huge query (a CosmoFlow-scale exhaustive space) doesn't serialize
+//!   the sweep behind it, and per-query serial phases (enumeration, final
+//!   ranking sort) run concurrently across cells,
+//! * **allocation** — the chunk columns come from the shared prep tables
+//!   and each worker reuses a thread-local survivor buffer, so the
+//!   per-candidate hot path allocates nothing.
+//!
+//! Set `PARADL_GRID_TRACE=1` to print per-stage wall-clock timings of a
+//! sweep to stderr.
+//!
+//! The sweep is *exact*: every cell's [`SearchReport`] has the same
+//! `enumerated`/`pruned_by_memory` counts, ranking and budget winners as a
+//! per-query [`Oracle::search`] at that cell's configuration (byte-identical
+//! projections — rebatched engines are bit-equal to freshly built ones, and
+//! the search reduction is order-independent). Only the `pruned_by_bound`
+//! counter may differ, as it already does between two runs of the parallel
+//! search. Property-tested in `tests/proptest_grid.rs`;
+//! [`GridSweep::run_per_query`] keeps the naive sweep as the equivalence
+//! baseline and benchmark reference (`paradl-bench/benches/grid.rs` and the
+//! `bench_grid_summary` binary, which measures the ≥ 5× end-to-end speedup
+//! on a paper-scale grid).
+
+use crate::cluster::{ClusterCache, ClusterSpec};
+use crate::config::TrainingConfig;
+use crate::engine::{CostEngine, ModelLimits};
+use crate::model::Model;
+use crate::oracle::{Constraints, Oracle, Projection};
+use crate::search::{
+    budget_index, candidate_cmp, evaluate_pruned_with_bound, finish_report, finish_report_topk,
+    RankedCandidate, SearchReport, SearchShared, StrategySpace,
+};
+use crate::strategy::Strategy;
+use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// One model entry of a [`QueryGrid`]: the model plus its base training
+/// configuration (dataset size, datum width, memory-reuse factor). The
+/// grid's batch axis overrides `base.batch_size` per cell.
+#[derive(Debug, Clone)]
+pub struct GridModel {
+    /// The CNN model.
+    pub model: Model,
+    /// Base training configuration; `batch_size` is replaced per grid cell.
+    pub base: TrainingConfig,
+}
+
+impl GridModel {
+    /// The cell configuration at global batch `batch`.
+    pub fn config_at(&self, batch: usize) -> TrainingConfig {
+        TrainingConfig { batch_size: batch, ..self.base }
+    }
+}
+
+/// Coordinates of one grid cell: indices into the grid's model and cluster
+/// axes plus the global batch *value* of the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridQuery {
+    /// Index into [`QueryGrid::models`].
+    pub model: usize,
+    /// Index into [`QueryGrid::clusters`].
+    pub cluster: usize,
+    /// Global mini-batch size of this cell.
+    pub batch: usize,
+}
+
+/// A batched set of oracle queries: the cross product of models (with their
+/// base configurations), global batch sizes, and clusters, all searched
+/// under one [`Constraints`]. Build with the `with_*` methods, evaluate with
+/// a [`GridSweep`].
+///
+/// Each cluster's [`ClusterSpec::device`] profile provides the per-layer
+/// compute times for the cells on that cluster.
+#[derive(Debug, Clone)]
+pub struct QueryGrid {
+    models: Vec<GridModel>,
+    batches: Vec<usize>,
+    clusters: Vec<ClusterSpec>,
+    constraints: Constraints,
+}
+
+impl QueryGrid {
+    /// An empty grid evaluated under `constraints`.
+    pub fn new(constraints: Constraints) -> Self {
+        QueryGrid { models: Vec::new(), batches: Vec::new(), clusters: Vec::new(), constraints }
+    }
+
+    /// Adds a model with its base training configuration (the grid's batch
+    /// axis overrides `base.batch_size`).
+    pub fn with_model(mut self, model: Model, base: TrainingConfig) -> Self {
+        self.models.push(GridModel { model, base });
+        self
+    }
+
+    /// Adds global batch sizes to the batch axis.
+    pub fn with_batches(mut self, batches: impl IntoIterator<Item = usize>) -> Self {
+        self.batches.extend(batches);
+        self
+    }
+
+    /// Adds a cluster (its [`ClusterSpec::device`] provides the compute
+    /// model for the cells on it).
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.clusters.push(cluster);
+        self
+    }
+
+    /// The model axis.
+    pub fn models(&self) -> &[GridModel] {
+        &self.models
+    }
+
+    /// The global-batch axis.
+    pub fn batches(&self) -> &[usize] {
+        &self.batches
+    }
+
+    /// The cluster axis.
+    pub fn clusters(&self) -> &[ClusterSpec] {
+        &self.clusters
+    }
+
+    /// The shared search constraints.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// Number of cells (`models × batches × clusters`).
+    pub fn num_queries(&self) -> usize {
+        self.models.len() * self.batches.len() * self.clusters.len()
+    }
+
+    /// The cell coordinates in evaluation order: model-major, then batch,
+    /// then cluster — the order of [`GridReport::cells`].
+    pub fn queries(&self) -> Vec<GridQuery> {
+        let mut out = Vec::with_capacity(self.num_queries());
+        for m in 0..self.models.len() {
+            for &batch in &self.batches {
+                for c in 0..self.clusters.len() {
+                    out.push(GridQuery { model: m, cluster: c, batch });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// The cell's coordinates.
+    pub query: GridQuery,
+    /// The cell's search result — identical to what a per-query
+    /// [`Oracle::search`] at this configuration returns.
+    pub report: SearchReport,
+}
+
+/// The result of a grid sweep: one [`GridCell`] per query, in
+/// [`QueryGrid::queries`] order.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Evaluated cells (model-major, then batch, then cluster).
+    pub cells: Vec<GridCell>,
+}
+
+impl GridReport {
+    /// Number of evaluated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the report has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell for (model index, batch value, cluster index), if present.
+    pub fn get(&self, model: usize, batch: usize, cluster: usize) -> Option<&GridCell> {
+        self.cells.iter().find(|c| {
+            c.query.model == model && c.query.batch == batch && c.query.cluster == cluster
+        })
+    }
+}
+
+/// Per-(model, batch, device) evaluation tables, shared by every cell whose
+/// cluster carries that device profile: the filtered candidate count, the
+/// memory-pruned count, and the memory-feasible candidates as
+/// structure-of-arrays columns (strategy, per-PE memory, compute-only lower
+/// bound) in deterministic enumeration order. Per-PE memory is
+/// cluster-independent and the lower bound only depends on the device, so
+/// one prep pass — enumeration filter, memory pruning, bound tabulation —
+/// serves every cluster sharing the device instead of being repeated per
+/// cell.
+struct PreppedSpace {
+    /// Candidates enumerated for this (model, batch) under the constraints.
+    enumerated: usize,
+    /// Of those, how many the memory-capacity check removed.
+    mem_pruned: usize,
+    /// Memory-feasible candidates, in enumeration order.
+    cands: Vec<Strategy>,
+    /// Per-PE memory column, aligned with `cands`.
+    mems: Vec<f64>,
+    /// Compute-only lower-bound column, aligned with `cands`.
+    lbs: Vec<f64>,
+}
+
+impl PreppedSpace {
+    /// Builds the prep tables of one (model, device) for *every* batch of
+    /// the grid in a single superset pass: candidate validity is monotone in
+    /// the batch (every batch-dependent bound is a `≤ batch` comparison), so
+    /// each candidate's validity is resolved once at the smallest admitting
+    /// batch instead of being re-checked per batch. `base` is any engine of
+    /// the (model, device) pair; per-batch siblings are rebatched from it.
+    fn build_all(
+        superset: &[Strategy],
+        limits: &ModelLimits,
+        base: &CostEngine<'_>,
+        batches: &[usize],
+        constraints: &Constraints,
+    ) -> Vec<PreppedSpace> {
+        let engines: Vec<CostEngine<'_>> = batches.iter().map(|&b| base.rebatched(b)).collect();
+        let mut preps: Vec<PreppedSpace> = batches
+            .iter()
+            .map(|_| PreppedSpace {
+                enumerated: 0,
+                mem_pruned: 0,
+                cands: Vec::new(),
+                mems: Vec::new(),
+                lbs: Vec::new(),
+            })
+            .collect();
+        // Batch indices in ascending batch order (validity at one batch
+        // implies validity at every larger one).
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        order.sort_by_key(|&i| batches[i]);
+        for &strategy in superset {
+            let mut j = 0;
+            while j < order.len() && !limits.is_valid(strategy, batches[order[j]]) {
+                j += 1;
+            }
+            for &bi in &order[j..] {
+                let prep = &mut preps[bi];
+                prep.enumerated += 1;
+                let mem = engines[bi].memory_per_pe(strategy);
+                if mem > constraints.memory_capacity_bytes {
+                    continue;
+                }
+                prep.cands.push(strategy);
+                prep.mems.push(mem);
+                prep.lbs.push(engines[bi].lower_bound(strategy));
+            }
+        }
+        for prep in &mut preps {
+            prep.mem_pruned = prep.enumerated - prep.cands.len();
+        }
+        preps
+    }
+}
+
+/// Per-worker reusable survivor buffer, retaining its capacity across
+/// chunks so the evaluation hot path never allocates.
+#[derive(Default)]
+struct EvalScratch {
+    found: Vec<RankedCandidate>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+/// Evaluates one candidate chunk of one cell through its engine. The
+/// chunk's structure-of-arrays columns come from the cell's
+/// [`PreppedSpace`], so per-PE memory and the compute lower bound are read
+/// instead of recomputed. Costing goes through the exact per-candidate
+/// logic of the streaming search, so chunked and per-query evaluation
+/// agree; in top-k mode the per-budget winners are folded incrementally
+/// instead of materializing every costed candidate.
+fn eval_chunk(cell: &CellCtx<'_, '_>, lo: usize, hi: usize, constraints: &Constraints) {
+    let (cands, mems, lbs) =
+        (&cell.prep.cands[lo..hi], &cell.prep.mems[lo..hi], &cell.prep.lbs[lo..hi]);
+    let shared = &cell.shared;
+    if constraints.top_k.is_some() {
+        // Top-k reporting only needs the k best (tracked inside `shared`)
+        // and the per-budget winners — fold both incrementally instead of
+        // materializing every costed candidate. The typical candidate
+        // improves neither, so it exits after two relaxed atomic reads
+        // without assembling a `RankedCandidate`; the shared-state
+        // transitions are exactly those of the streaming search's
+        // `observe` (skipping only its no-op updates), so the final
+        // report is identical.
+        for (i, &strategy) in cands.iter().enumerate() {
+            if shared.should_prune(lbs[i], &strategy) {
+                shared.count_bound_pruned();
+                continue;
+            }
+            let cost = cell.engine.estimate_with_memory(strategy, mems[i]);
+            let time = cost.epoch_time();
+            let idx = budget_index(strategy.total_pes());
+            let improves_budget = time <= shared.budget_best_time(idx);
+            if !improves_budget && time > shared.threshold_time() {
+                continue;
+            }
+            let c = RankedCandidate {
+                strategy,
+                projection: Projection { cost, fits_memory: true, within_scaling_limit: true },
+            };
+            if improves_budget {
+                shared.record_budget(idx, time);
+                let mut slot = cell.winners[idx].lock().expect("winner slot poisoned");
+                let better = slot
+                    .map(|cur| candidate_cmp(&c, &cur) == std::cmp::Ordering::Less)
+                    .unwrap_or(true);
+                if better {
+                    *slot = Some(c);
+                }
+            }
+            shared.offer_topk(&c);
+        }
+        return;
+    }
+    // Full-ranking mode: every costed candidate is a survivor; batch them
+    // through the per-worker scratch to keep lock traffic at one append per
+    // chunk.
+    SCRATCH.with(|tls| {
+        let scratch = &mut *tls.borrow_mut();
+        scratch.found.clear();
+        for (i, &strategy) in cands.iter().enumerate() {
+            if let Some(c) = evaluate_pruned_with_bound(
+                &cell.engine,
+                strategy,
+                mems[i],
+                lbs[i],
+                constraints,
+                shared,
+            ) {
+                scratch.found.push(c);
+            }
+        }
+        if !scratch.found.is_empty() {
+            cell.found
+                .lock()
+                .expect("grid survivor accumulator poisoned")
+                .append(&mut scratch.found);
+        }
+    });
+}
+
+/// One in-flight cell of a sweep.
+struct CellCtx<'a, 'w> {
+    query: GridQuery,
+    engine: CostEngine<'a>,
+    prep: &'w PreppedSpace,
+    shared: SearchShared,
+    /// Survivor accumulator (full-ranking mode, `top_k == None`).
+    found: Mutex<Vec<RankedCandidate>>,
+    /// Per-budget-slot running winners (top-k mode).
+    winners: Vec<Mutex<Option<RankedCandidate>>>,
+}
+
+/// Evaluates a [`QueryGrid`], amortizing engines, topology caches and
+/// candidate enumeration across cells (see the [module docs](crate::grid)).
+#[derive(Debug, Clone)]
+pub struct GridSweep {
+    /// Candidates per work unit of the interleaved evaluation.
+    chunk: usize,
+}
+
+impl Default for GridSweep {
+    fn default() -> Self {
+        GridSweep::new()
+    }
+}
+
+impl GridSweep {
+    /// A sweep with the default work-splitting granularity (4096 candidates
+    /// per chunk — small enough that a paper-scale query splits into
+    /// dozens of units, large enough that chunk dispatch is negligible).
+    pub fn new() -> Self {
+        GridSweep { chunk: 4096 }
+    }
+
+    /// Overrides the candidates-per-chunk granularity (clamped to ≥ 1).
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Evaluates every cell of `grid`, returning one [`SearchReport`] per
+    /// cell in [`QueryGrid::queries`] order — each identical to what
+    /// [`Oracle::search`] would return for that cell (modulo the
+    /// non-deterministic `pruned_by_bound` counter).
+    pub fn run(&self, grid: &QueryGrid) -> GridReport {
+        let queries = grid.queries();
+        if queries.is_empty() {
+            return GridReport { cells: Vec::new() };
+        }
+        let trace = std::env::var_os("PARADL_GRID_TRACE").is_some();
+        let t0 = std::time::Instant::now();
+        let stage = move |name: &str| {
+            if trace {
+                eprintln!("[grid] {name:>10}: {:?}", t0.elapsed());
+            }
+        };
+        let n_clusters = grid.clusters.len();
+        let max_batch = *grid.batches.iter().max().expect("non-empty batch axis");
+        let constraints = &grid.constraints;
+
+        // Shared per-cluster topology caches.
+        let caches: Vec<Arc<ClusterCache>> =
+            grid.clusters.iter().map(|c| Arc::new(ClusterCache::new(c))).collect();
+
+        stage("caches");
+        // Per-model scaling limits (cheap, needed by both stages below).
+        let limits: Vec<ModelLimits> =
+            grid.models.iter().map(|gm| ModelLimits::of(&gm.model)).collect();
+
+        // One candidate superset per model, enumerated at the largest batch;
+        // models enumerate in parallel (the sort inside is each model's
+        // serial bottleneck in the per-query path).
+        let supersets: Vec<Vec<Strategy>> = (0..grid.models.len())
+            .into_par_iter()
+            .map(|m| StrategySpace::with_limits(max_batch, constraints, &limits[m]).into_vec())
+            .collect();
+
+        stage("supersets");
+        // One engine per (model, cluster) pair, sharing the cluster caches;
+        // every batch of the grid reuses the pair's batch-invariant core.
+        let engines: Vec<CostEngine<'_>> = (0..grid.models.len() * n_clusters)
+            .into_par_iter()
+            .map(|i| {
+                let (m, c) = (i / n_clusters, i % n_clusters);
+                let gm = &grid.models[m];
+                let cluster = &grid.clusters[c];
+                CostEngine::with_cache(
+                    &gm.model,
+                    &cluster.device,
+                    cluster,
+                    gm.config_at(max_batch),
+                    &caches[c],
+                )
+            })
+            .collect();
+
+        stage("engines");
+        // Group clusters by device profile: per-PE memory and the compute
+        // lower bound are cluster-independent given the device, so one prep
+        // pass per (model, batch, device) serves every cluster in the group.
+        let mut group_of = Vec::with_capacity(n_clusters);
+        let mut group_reps: Vec<usize> = Vec::new();
+        for (c, cluster) in grid.clusters.iter().enumerate() {
+            match group_reps.iter().position(|&r| grid.clusters[r].device == cluster.device) {
+                Some(g) => group_of.push(g),
+                None => {
+                    group_of.push(group_reps.len());
+                    group_reps.push(c);
+                }
+            }
+        }
+        let n_groups = group_reps.len();
+
+        // Per-(model, device) prepped spaces covering the whole batch axis:
+        // one superset pass enumerates, memory-prunes and bound-tabulates
+        // every batch's candidates.
+        let preps: Vec<Vec<PreppedSpace>> = (0..grid.models.len() * n_groups)
+            .into_par_iter()
+            .map(|i| {
+                let (m, g) = (i / n_groups, i % n_groups);
+                PreppedSpace::build_all(
+                    &supersets[m],
+                    &limits[m],
+                    &engines[m * n_clusters + group_reps[g]],
+                    &grid.batches,
+                    constraints,
+                )
+            })
+            .collect();
+
+        stage("preps");
+        // Cell contexts: a rebatched engine sibling plus the shared search
+        // state each cell's chunks reduce into. The memory-pruned count is
+        // seeded from the prep (the per-query search counts it before bound
+        // pruning, so the accounting matches).
+        let cells: Vec<CellCtx<'_, '_>> = queries
+            .iter()
+            .map(|&query| {
+                let b = grid.batches.iter().position(|&x| x == query.batch).expect("own axis");
+                let prep = &preps[query.model * n_groups + group_of[query.cluster]][b];
+                let shared = SearchShared::new(constraints);
+                shared.set_memory_pruned(prep.mem_pruned);
+                let winners = (0..shared.num_budget_slots()).map(|_| Mutex::new(None)).collect();
+                CellCtx {
+                    query,
+                    engine: engines[query.model * n_clusters + query.cluster]
+                        .rebatched(query.batch),
+                    prep,
+                    shared,
+                    found: Mutex::new(Vec::new()),
+                    winners,
+                }
+            })
+            .collect();
+
+        stage("cells");
+        // Candidate-level work splitting: fixed-size chunks, interleaved
+        // round-robin across cells so a huge cell spreads over all workers
+        // instead of pinning one. Round-robin also runs every cell's
+        // lowest-bound chunk first, tightening the pruning thresholds before
+        // the (wholesale-prunable) tails are touched.
+        let chunk = self.chunk;
+        let mut items: Vec<(usize, usize)> = Vec::new();
+        let mut round = 0usize;
+        loop {
+            let mut any = false;
+            for (ci, cell) in cells.iter().enumerate() {
+                if round * chunk < cell.prep.cands.len() {
+                    items.push((ci, round));
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            round += 1;
+        }
+        let _: Vec<()> = items
+            .par_iter()
+            .map(|&(ci, round)| {
+                let cell = &cells[ci];
+                let lo = round * chunk;
+                let hi = (lo + chunk).min(cell.prep.cands.len());
+                eval_chunk(cell, lo, hi, constraints);
+            })
+            .collect();
+
+        stage("eval");
+        // Per-cell final ranking, in parallel across cells.
+        let cells: Vec<GridCell> = cells
+            .into_par_iter()
+            .map(|cell| {
+                let report = if constraints.top_k.is_some() {
+                    let slot_best = cell
+                        .winners
+                        .into_iter()
+                        .map(|slot| slot.into_inner().expect("winner slot poisoned"))
+                        .collect();
+                    finish_report_topk(cell.prep.enumerated, slot_best, constraints, cell.shared)
+                } else {
+                    let survivors = cell.found.into_inner().expect("grid accumulator poisoned");
+                    finish_report(cell.prep.enumerated, survivors, constraints, cell.shared)
+                };
+                GridCell { query: cell.query, report }
+            })
+            .collect();
+        stage("finish");
+        GridReport { cells }
+    }
+
+    /// The naive sweep: one [`Oracle::search`] per cell, each building its
+    /// own engine and enumerating its own candidate space. Kept as the
+    /// equivalence baseline ([`GridSweep::run`] must reproduce it cell for
+    /// cell) and as the benchmark reference the ≥ 5× amortization target is
+    /// measured against.
+    pub fn run_per_query(&self, grid: &QueryGrid) -> GridReport {
+        let cells = grid
+            .queries()
+            .into_iter()
+            .map(|query| {
+                let gm = &grid.models[query.model];
+                let cluster = &grid.clusters[query.cluster];
+                let oracle =
+                    Oracle::new(&gm.model, &cluster.device, cluster, gm.config_at(query.batch));
+                GridCell { query, report: oracle.search(&grid.constraints) }
+            })
+            .collect();
+        GridReport { cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::oracle::PeSweep;
+
+    fn model(seed: usize) -> Model {
+        Model::new(
+            format!("m{seed}"),
+            3,
+            vec![32, 32],
+            vec![
+                Layer::conv2d("c1", 3, 32 + 16 * seed, (32, 32), 3, 1, 1),
+                Layer::pool2d("p1", 32 + 16 * seed, (32, 32), 2, 2),
+                Layer::conv2d("c2", 32 + 16 * seed, 64, (16, 16), 3, 1, 1),
+                Layer::global_pool("g", 64, &[16, 16]),
+                Layer::fully_connected("fc", 64, 10),
+            ],
+        )
+    }
+
+    fn small_grid(constraints: Constraints) -> QueryGrid {
+        QueryGrid::new(constraints)
+            .with_model(model(0), TrainingConfig::small(8192, 64))
+            .with_model(model(1), TrainingConfig::small(4096, 64))
+            .with_batches([32usize, 64, 96])
+            .with_cluster(ClusterSpec::paper_system())
+            .with_cluster(ClusterSpec::workstation(8))
+    }
+
+    fn assert_reports_equal(a: &SearchReport, b: &SearchReport, what: &str) {
+        assert_eq!(a.enumerated, b.enumerated, "{what}: enumerated");
+        assert_eq!(a.pruned_by_memory, b.pruned_by_memory, "{what}: memory-pruned");
+        assert_eq!(a.ranked.len(), b.ranked.len(), "{what}: ranked length");
+        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(x.strategy, y.strategy, "{what}: ranked strategy");
+            assert_eq!(x.projection, y.projection, "{what}: ranked projection");
+        }
+        assert_eq!(a.best_per_budget.len(), b.best_per_budget.len(), "{what}: budgets");
+        for (x, y) in a.best_per_budget.iter().zip(&b.best_per_budget) {
+            assert_eq!(x.max_pes, y.max_pes, "{what}: budget");
+            assert_eq!(x.candidate.strategy, y.candidate.strategy, "{what}: budget winner");
+            assert_eq!(x.candidate.projection, y.candidate.projection, "{what}: budget proj");
+        }
+    }
+
+    #[test]
+    fn filtered_superset_equals_direct_enumeration() {
+        for sweep in [PeSweep::PowersOfTwo, PeSweep::Exhaustive] {
+            let constraints =
+                Constraints { max_pes: 256, sweep, pipeline_segments: 16, ..Default::default() };
+            let m = model(0);
+            let limits = ModelLimits::of(&m);
+            let max_batch = 96;
+            let superset: Vec<Strategy> =
+                StrategySpace::with_limits(max_batch, &constraints, &limits).into_vec();
+            for batch in [17usize, 32, 64, 96] {
+                let filtered: Vec<Strategy> =
+                    superset.iter().copied().filter(|&s| limits.is_valid(s, batch)).collect();
+                let direct: Vec<Strategy> =
+                    StrategySpace::with_limits(batch, &constraints, &limits).into_vec();
+                assert_eq!(filtered, direct, "sweep {sweep:?}, batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_query_search() {
+        let grid = small_grid(Constraints { max_pes: 256, ..Default::default() });
+        let sweep = GridSweep::new().with_chunk_size(64); // force many chunks
+        let fast = sweep.run(&grid);
+        let slow = sweep.run_per_query(&grid);
+        assert_eq!(fast.len(), grid.num_queries());
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.cells.iter().zip(&slow.cells) {
+            assert_eq!(a.query, b.query);
+            assert_reports_equal(&a.report, &b.report, &format!("{:?}", a.query));
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_query_search_with_pruning() {
+        let grid = small_grid(Constraints {
+            max_pes: 256,
+            top_k: Some(7),
+            sweep: PeSweep::Exhaustive,
+            ..Default::default()
+        });
+        let sweep = GridSweep::new().with_chunk_size(128);
+        let fast = sweep.run(&grid);
+        let slow = sweep.run_per_query(&grid);
+        for (a, b) in fast.cells.iter().zip(&slow.cells) {
+            assert_eq!(a.query, b.query);
+            assert_reports_equal(&a.report, &b.report, &format!("{:?}", a.query));
+        }
+    }
+
+    #[test]
+    fn cells_follow_query_order_and_get_finds_them() {
+        let grid = small_grid(Constraints { max_pes: 64, ..Default::default() });
+        let report = GridSweep::new().run(&grid);
+        let queries = grid.queries();
+        assert_eq!(report.len(), queries.len());
+        for (cell, q) in report.cells.iter().zip(&queries) {
+            assert_eq!(cell.query, *q);
+        }
+        let found = report.get(1, 96, 1).expect("cell exists");
+        assert_eq!(found.query, GridQuery { model: 1, cluster: 1, batch: 96 });
+        assert!(report.get(2, 96, 1).is_none());
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_report() {
+        let grid = QueryGrid::new(Constraints::default());
+        assert_eq!(grid.num_queries(), 0);
+        let report = GridSweep::new().run(&grid);
+        assert!(report.is_empty());
+        // A grid missing just one axis is also empty.
+        let no_batches = QueryGrid::new(Constraints::default())
+            .with_model(model(0), TrainingConfig::small(1024, 32))
+            .with_cluster(ClusterSpec::paper_system());
+        assert_eq!(no_batches.num_queries(), 0);
+        assert!(GridSweep::new().run(&no_batches).is_empty());
+    }
+}

@@ -50,6 +50,7 @@ pub mod compute;
 pub mod config;
 pub mod cost;
 pub mod engine;
+pub mod grid;
 pub mod layer;
 pub mod limits;
 pub mod memory;
@@ -61,12 +62,13 @@ pub mod strategy;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::cluster::{ClusterSpec, CommLevel};
+    pub use crate::cluster::{ClusterCache, ClusterSpec, CommLevel};
     pub use crate::comm::{CollectiveAlgorithm, CommModel, LinkParams};
     pub use crate::compute::{ComputeModel, DeviceProfile, LayerTimes, TabulatedProfile};
     pub use crate::config::TrainingConfig;
     pub use crate::cost::{estimate, estimate_with_memory, CostEstimate, PhaseBreakdown};
     pub use crate::engine::{CostEngine, ModelLimits};
+    pub use crate::grid::{GridCell, GridModel, GridQuery, GridReport, GridSweep, QueryGrid};
     pub use crate::layer::{Layer, LayerKind};
     pub use crate::limits::{diagnose_default, table6, Issue, IssueClass};
     pub use crate::memory::{fits_in_memory, memory_per_pe, V100_MEMORY_BYTES};

@@ -167,7 +167,8 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
     }
 
     /// Projects a strategy through a prebuilt [`CostEngine`], flagging memory
-    /// feasibility against `constraints`.
+    /// feasibility against `constraints`. The scaling-limit check uses the
+    /// engine's current batch, so it stays correct for rebatched engines.
     fn project_engine(
         &self,
         engine: &CostEngine<'_>,
@@ -178,39 +179,63 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
         Projection {
             cost,
             fits_memory: cost.memory_per_pe_bytes <= constraints.memory_capacity_bytes,
-            within_scaling_limit: engine.limits().is_valid(strategy, self.config.batch_size),
+            within_scaling_limit: engine.limits().is_valid(strategy, engine.config().batch_size),
         }
     }
 
     /// Projects every evaluated strategy family at `p` PEs and returns the
     /// projections (infeasible strategies are included and flagged).
-    /// Evaluated through the precomputed [`CostEngine`].
+    /// Builds a fresh [`CostEngine`] per call; when the caller already holds
+    /// one, use [`Oracle::survey_with_engine`].
     pub fn survey(&self, p: usize, constraints: &Constraints) -> Vec<Projection> {
-        let engine = self.engine();
+        self.survey_with_engine(&self.engine(), p, constraints)
+    }
+
+    /// Like [`Oracle::survey`], but evaluates through a [`CostEngine`] the
+    /// caller already built (possibly [`CostEngine::rebatch`]ed), so a
+    /// multi-query sweep pays the engine tabulation once.
+    pub fn survey_with_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        p: usize,
+        constraints: &Constraints,
+    ) -> Vec<Projection> {
         StrategyKind::EVALUATED
             .iter()
             .map(|&kind| {
                 let s = self.instantiate(kind, p, constraints.pipeline_segments);
-                self.project_engine(&engine, s, constraints)
+                self.project_engine(engine, s, constraints)
             })
             .collect()
     }
 
     /// Suggests the best feasible strategy within the constraints: the one
     /// with the smallest projected epoch time among those that fit memory and
-    /// scaling limits (paper §4.1, first bullet). Evaluated through the
-    /// precomputed [`CostEngine`], consistently with the exhaustive search.
+    /// scaling limits (paper §4.1, first bullet). Builds a fresh
+    /// [`CostEngine`] per call; when the caller already holds one, use
+    /// [`Oracle::suggest_with_engine`].
     pub fn suggest(&self, constraints: &Constraints) -> Option<Projection> {
-        let engine = self.engine();
+        self.suggest_with_engine(&self.engine(), constraints)
+    }
+
+    /// Like [`Oracle::suggest`], but evaluates through a [`CostEngine`] the
+    /// caller already built (possibly [`CostEngine::rebatch`]ed — the sweep
+    /// limits come from the *engine's* current batch), consistently with the
+    /// exhaustive search.
+    pub fn suggest_with_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        constraints: &Constraints,
+    ) -> Option<Projection> {
+        let batch = engine.config().batch_size;
         let mut best: Option<Projection> = None;
         for &kind in &StrategyKind::EVALUATED {
-            let max_p =
-                engine.limits().max_pes(self.config.batch_size, kind).min(constraints.max_pes);
+            let max_p = engine.limits().max_pes(batch, kind).min(constraints.max_pes);
             // Evaluate at powers of two up to the limit (the paper's sweep).
             let mut p = 1usize;
             while p <= max_p {
                 let s = self.instantiate(kind, p, constraints.pipeline_segments);
-                let proj = self.project_engine(&engine, s, constraints);
+                let proj = self.project_engine(engine, s, constraints);
                 if proj.feasible() {
                     let better = match &best {
                         None => true,
@@ -318,6 +343,39 @@ mod tests {
             }
             other => panic!("unexpected {other}"),
         }
+    }
+
+    #[test]
+    fn with_engine_variants_match_fresh_builds() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(8192, 64);
+        let oracle = Oracle::new(&m, &d, &c, cfg);
+        let constraints = Constraints::default();
+        let engine = oracle.engine();
+
+        let fresh = oracle.suggest(&constraints).unwrap();
+        let reused = oracle.suggest_with_engine(&engine, &constraints).unwrap();
+        assert_eq!(fresh.cost, reused.cost);
+
+        assert_eq!(
+            oracle.survey(16, &constraints),
+            oracle.survey_with_engine(&engine, 16, &constraints)
+        );
+
+        // A rebatched engine answers the other batch's problem exactly.
+        let cfg2 = TrainingConfig::small(8192, 128);
+        let oracle2 = Oracle::new(&m, &d, &c, cfg2);
+        let rebatched = engine.rebatched(128);
+        assert_eq!(
+            oracle2.suggest(&constraints).unwrap().cost,
+            oracle2.suggest_with_engine(&rebatched, &constraints).unwrap().cost
+        );
+        assert_eq!(
+            oracle2.survey(16, &constraints),
+            oracle2.survey_with_engine(&rebatched, 16, &constraints)
+        );
     }
 
     #[test]

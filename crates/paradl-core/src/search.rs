@@ -189,7 +189,7 @@ impl ExactSizeIterator for StrategySpace {}
 /// the family-specific parameters. Injective on valid candidates (the
 /// omitted parameters are implied by the included ones), which is what lets
 /// the enumerator deduplicate with sort+dedup.
-fn strategy_sort_key(s: &Strategy) -> (u8, usize, usize, usize, usize) {
+pub(crate) fn strategy_sort_key(s: &Strategy) -> (u8, usize, usize, usize, usize) {
     let family = match s.kind() {
         StrategyKind::Serial => 0,
         StrategyKind::Data => 1,
@@ -276,7 +276,7 @@ impl RankedCandidate {
 
 /// Full ranking order: epoch time, ties broken by the deterministic
 /// enumeration key.
-fn candidate_cmp(a: &RankedCandidate, b: &RankedCandidate) -> std::cmp::Ordering {
+pub(crate) fn candidate_cmp(a: &RankedCandidate, b: &RankedCandidate) -> std::cmp::Ordering {
     a.epoch_time()
         .total_cmp(&b.epoch_time())
         .then_with(|| strategy_sort_key(&a.strategy).cmp(&strategy_sort_key(&b.strategy)))
@@ -368,7 +368,7 @@ impl Ord for HeapEntry {
 }
 
 /// Budget index of a PE count: the smallest `i` with `2^i ≥ p`.
-fn budget_index(pes: usize) -> usize {
+pub(crate) fn budget_index(pes: usize) -> usize {
     pes.max(1).next_power_of_two().trailing_zeros() as usize
 }
 
@@ -388,8 +388,10 @@ fn atomic_min(cell: &AtomicU64, value: f64) {
 /// atomic best costs, and — when `top_k` is set — the bounded heap plus the
 /// atomic k-th-best threshold that drives branch-and-bound pruning. All
 /// updates are monotone (thresholds only decrease), so stale reads are
-/// merely conservative and the final results are order-independent.
-struct SearchShared {
+/// merely conservative and the final results are order-independent —
+/// which is also what lets [`crate::grid::GridSweep`] interleave the chunks
+/// of one query with other queries' work.
+pub(crate) struct SearchShared {
     top_k: Option<usize>,
     /// Current k-th best epoch time (bits); `+∞` until the heap holds `k`.
     threshold: AtomicU64,
@@ -401,7 +403,7 @@ struct SearchShared {
 }
 
 impl SearchShared {
-    fn new(constraints: &Constraints) -> Self {
+    pub(crate) fn new(constraints: &Constraints) -> Self {
         let slots = budget_index(constraints.max_pes.max(1)) + 1;
         SearchShared {
             top_k: constraints.top_k,
@@ -413,9 +415,34 @@ impl SearchShared {
         }
     }
 
+    /// Seeds the memory-pruned counter (used by the grid sweep, which
+    /// memory-filters candidates once per (model, batch) before the
+    /// per-cluster evaluation).
+    pub(crate) fn set_memory_pruned(&self, n: usize) {
+        self.pruned_memory.store(n, Ordering::Relaxed);
+    }
+
+    /// Number of PE-budget slots tracked by this search.
+    pub(crate) fn num_budget_slots(&self) -> usize {
+        self.budget_best.len()
+    }
+
+    /// Current best epoch time recorded for budget slot `idx` (`+∞` until a
+    /// candidate of that budget is observed).
+    pub(crate) fn budget_best_time(&self, idx: usize) -> f64 {
+        f64::from_bits(self.budget_best[idx].load(Ordering::Relaxed))
+    }
+
+    /// Records one bound-pruned candidate (callers that inline the
+    /// [`SearchShared::should_prune`] check, like the grid sweep's top-k
+    /// path, use this to keep the report accounting consistent).
+    pub(crate) fn count_bound_pruned(&self) {
+        self.pruned_bound.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Whether a candidate with compute-only lower bound `lb` can be skipped:
     /// it can neither enter the top-k nor win any PE budget it belongs to.
-    fn should_prune(&self, lb: f64, strategy: &Strategy) -> bool {
+    pub(crate) fn should_prune(&self, lb: f64, strategy: &Strategy) -> bool {
         if self.top_k.is_none() {
             return false;
         }
@@ -430,15 +457,35 @@ impl SearchShared {
 
     /// Records an evaluated candidate in the budget table and top-k heap.
     fn observe(&self, candidate: &RankedCandidate) {
-        let time = candidate.epoch_time();
-        atomic_min(&self.budget_best[budget_index(candidate.strategy.total_pes())], time);
+        self.record_budget(budget_index(candidate.strategy.total_pes()), candidate.epoch_time());
+        self.offer_topk(candidate);
+    }
+
+    /// Lowers the budget slot's best time towards `time` (a no-op when
+    /// `time` is not an improvement, so callers may skip it in that case).
+    pub(crate) fn record_budget(&self, idx: usize, time: f64) {
+        atomic_min(&self.budget_best[idx], time);
+    }
+
+    /// Current top-k threshold (the k-th best epoch time; `+∞` until the
+    /// heap holds `k` candidates). Candidates strictly above it can never
+    /// enter the heap — the threshold only decreases.
+    pub(crate) fn threshold_time(&self) -> f64 {
+        f64::from_bits(self.threshold.load(Ordering::Relaxed))
+    }
+
+    /// Offers an evaluated candidate to the bounded top-k heap (no-op when
+    /// `top_k` is unset or the candidate is strictly worse than the current
+    /// k-th best).
+    pub(crate) fn offer_topk(&self, candidate: &RankedCandidate) {
         let Some(k) = self.top_k else { return };
         if k == 0 {
             return;
         }
         // Lock-free fast path: strictly worse than the current k-th best can
         // never enter the heap (the threshold only decreases).
-        if time > f64::from_bits(self.threshold.load(Ordering::Relaxed)) {
+        let time = candidate.epoch_time();
+        if time > self.threshold_time() {
             return;
         }
         let entry = HeapEntry::new(*candidate);
@@ -460,19 +507,25 @@ impl SearchShared {
     }
 }
 
-/// Memory-prunes, bound-prunes, then costs one candidate through the engine.
-fn evaluate_streaming(
+/// Memory-prunes (against a per-PE memory value the caller already
+/// computed), bound-prunes (against a precomputed compute-only lower
+/// bound), then costs one candidate through the engine. Shared by the
+/// streaming search below and the chunked SoA evaluation of
+/// [`crate::grid::GridSweep`], whose prep tables supply `mem` and `lb` so
+/// neither is recomputed per cell.
+pub(crate) fn evaluate_pruned_with_bound(
     engine: &CostEngine<'_>,
     strategy: Strategy,
+    mem: f64,
+    lb: f64,
     constraints: &Constraints,
     shared: &SearchShared,
 ) -> Option<RankedCandidate> {
-    let mem = engine.memory_per_pe(strategy);
     if mem > constraints.memory_capacity_bytes {
         shared.pruned_memory.fetch_add(1, Ordering::Relaxed);
         return None;
     }
-    if shared.should_prune(engine.lower_bound(strategy), &strategy) {
+    if shared.should_prune(lb, &strategy) {
         shared.pruned_bound.fetch_add(1, Ordering::Relaxed);
         return None;
     }
@@ -485,14 +538,34 @@ fn evaluate_streaming(
     Some(candidate)
 }
 
-/// Assembles the final report from the streamed outcomes.
-fn finish_report(
+/// Memory-prunes, bound-prunes, then costs one candidate through the engine.
+fn evaluate_streaming(
+    engine: &CostEngine<'_>,
+    strategy: Strategy,
+    constraints: &Constraints,
+    shared: &SearchShared,
+) -> Option<RankedCandidate> {
+    evaluate_pruned_with_bound(
+        engine,
+        strategy,
+        engine.memory_per_pe(strategy),
+        engine.lower_bound(strategy),
+        constraints,
+        shared,
+    )
+}
+
+/// Assembles the final report from the streamed survivors. Order-independent:
+/// `ranked` is re-sorted by the total candidate order (or drained from the
+/// top-k heap) and the budget winners are minima under the same order, so
+/// any interleaving of the evaluation produces the same report (modulo the
+/// `pruned_by_bound` counter, which is documented as non-deterministic).
+pub(crate) fn finish_report(
     enumerated: usize,
-    outcomes: Vec<Option<RankedCandidate>>,
+    survivors: Vec<RankedCandidate>,
     constraints: &Constraints,
     shared: SearchShared,
 ) -> SearchReport {
-    let survivors: Vec<RankedCandidate> = outcomes.into_iter().flatten().collect();
     let pruned_by_memory = shared.pruned_memory.load(Ordering::Relaxed);
     let pruned_by_bound = shared.pruned_bound.load(Ordering::Relaxed);
     let budgets = powers_of_two(1, constraints.max_pes.max(1));
@@ -511,9 +584,6 @@ fn finish_report(
             (ranked, best_per_budget)
         }
         Some(_) => {
-            let heap = shared.heap.into_inner().expect("top-k heap poisoned");
-            let ranked: Vec<RankedCandidate> =
-                heap.into_sorted_vec().into_iter().map(|e| e.candidate).collect();
             // Budget winners from every evaluated candidate (the bound
             // pruning guarantees no budget winner was skipped), independent
             // of the global top-k.
@@ -529,25 +599,45 @@ fn finish_report(
                     }
                 }
             }
-            let mut best_per_budget = Vec::new();
-            let mut running: Option<RankedCandidate> = None;
-            for (i, &budget) in budgets.iter().enumerate() {
-                if let Some(c) = slot_best[i] {
-                    let better = running
-                        .map(|cur| candidate_cmp(&c, &cur) == std::cmp::Ordering::Less)
-                        .unwrap_or(true);
-                    if better {
-                        running = Some(c);
-                    }
-                }
-                if let Some(candidate) = running {
-                    best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
-                }
-            }
-            (ranked, best_per_budget)
+            return finish_report_topk(enumerated, slot_best, constraints, shared);
         }
     };
 
+    SearchReport { enumerated, pruned_by_memory, pruned_by_bound, ranked, best_per_budget }
+}
+
+/// Top-k variant of [`finish_report`] taking the per-budget-slot best
+/// candidates directly instead of the full survivor list. The grid sweep
+/// maintains the slots incrementally during evaluation (the minimum under
+/// [`candidate_cmp`] is order-independent), which avoids materializing the
+/// hundreds of thousands of costed candidates a paper-scale cell produces
+/// when only the `k` best and the budget winners are reported.
+pub(crate) fn finish_report_topk(
+    enumerated: usize,
+    slot_best: Vec<Option<RankedCandidate>>,
+    constraints: &Constraints,
+    shared: SearchShared,
+) -> SearchReport {
+    let pruned_by_memory = shared.pruned_memory.load(Ordering::Relaxed);
+    let pruned_by_bound = shared.pruned_bound.load(Ordering::Relaxed);
+    let heap = shared.heap.into_inner().expect("top-k heap poisoned");
+    let ranked: Vec<RankedCandidate> =
+        heap.into_sorted_vec().into_iter().map(|e| e.candidate).collect();
+    let mut best_per_budget = Vec::new();
+    let mut running: Option<RankedCandidate> = None;
+    for (i, budget) in powers_of_two(1, constraints.max_pes.max(1)).into_iter().enumerate() {
+        if let Some(c) = slot_best.get(i).copied().flatten() {
+            let better = running
+                .map(|cur| candidate_cmp(&c, &cur) == std::cmp::Ordering::Less)
+                .unwrap_or(true);
+            if better {
+                running = Some(c);
+            }
+        }
+        if let Some(candidate) = running {
+            best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
+        }
+    }
     SearchReport { enumerated, pruned_by_memory, pruned_by_bound, ranked, best_per_budget }
 }
 
@@ -565,17 +655,32 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
     /// cannot beat the running winners are branch-and-bound pruned and only
     /// the `k` best are kept (bounded heap). Deterministic: returns exactly
     /// what [`Oracle::search_serial`] returns.
+    ///
+    /// Builds a fresh engine per call; when the caller already holds one —
+    /// e.g. across the batch sweep of a [`crate::grid::QueryGrid`] — use
+    /// [`Oracle::search_with_engine`].
     pub fn search(&self, constraints: &Constraints) -> SearchReport {
-        let engine = self.engine();
+        self.search_with_engine(&self.engine(), constraints)
+    }
+
+    /// Like [`Oracle::search`], but evaluates through a [`CostEngine`] the
+    /// caller already built (possibly [`CostEngine::rebatch`]ed — the
+    /// candidate space is enumerated at the *engine's* current batch).
+    pub fn search_with_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        constraints: &Constraints,
+    ) -> SearchReport {
         let candidates =
-            StrategySpace::with_limits(self.config.batch_size, constraints, engine.limits())
+            StrategySpace::with_limits(engine.config().batch_size, constraints, engine.limits())
                 .into_vec();
         let shared = SearchShared::new(constraints);
         let outcomes: Vec<Option<RankedCandidate>> = candidates
             .par_iter()
-            .map(|&strategy| evaluate_streaming(&engine, strategy, constraints, &shared))
+            .map(|&strategy| evaluate_streaming(engine, strategy, constraints, &shared))
             .collect();
-        finish_report(candidates.len(), outcomes, constraints, shared)
+        let survivors = outcomes.into_iter().flatten().collect();
+        finish_report(candidates.len(), survivors, constraints, shared)
     }
 
     /// Single-threaded variant of [`Oracle::search`] (same engine, same
@@ -591,7 +696,8 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
             .iter()
             .map(|&strategy| evaluate_streaming(&engine, strategy, constraints, &shared))
             .collect();
-        finish_report(candidates.len(), outcomes, constraints, shared)
+        let survivors = outcomes.into_iter().flatten().collect();
+        finish_report(candidates.len(), survivors, constraints, shared)
     }
 
     /// The original (pre-engine) search path: every candidate re-walks the

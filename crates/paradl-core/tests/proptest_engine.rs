@@ -86,6 +86,46 @@ proptest! {
     }
 
     #[test]
+    fn rebatch_matches_fresh_engine(
+        model in arb_model(),
+        config in arb_config(),
+        log_batch in 3usize..9,
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let base = CostEngine::new(&model, &device, &cluster, config);
+        // Power-of-two and non-power-of-two target batches, both directions
+        // (shrinking and growing relative to the base batch).
+        for batch in [1usize << log_batch, (1 << log_batch) + 3] {
+            let fresh = CostEngine::new(
+                &model,
+                &device,
+                &cluster,
+                TrainingConfig { batch_size: batch, ..config },
+            );
+            let rebatched = base.rebatched(batch);
+            prop_assert!(rebatched.config() == fresh.config());
+            for s in sample_candidates(&model, batch) {
+                // Byte-for-byte: rebatch re-runs the exact arithmetic of a
+                // fresh build over shared tables (well inside the pinned
+                // 1e-9 tolerance).
+                let (a, b) = (rebatched.estimate(s), fresh.estimate(s));
+                prop_assert!(a == b, "{s}: rebatched {a:?} != fresh {b:?} at B={batch}");
+                let (ma, mb) = (rebatched.memory_per_pe(s), fresh.memory_per_pe(s));
+                prop_assert!(ma == mb, "{s}: memory {ma} != {mb} at B={batch}");
+                prop_assert!(rebatched.lower_bound(s) == fresh.lower_bound(s), "{s} bound");
+            }
+        }
+        // In-place round trip returns to the base engine's answers.
+        let mut roundtrip = base.clone();
+        roundtrip.rebatch(1 << log_batch);
+        roundtrip.rebatch(config.batch_size);
+        for s in sample_candidates(&model, config.batch_size).into_iter().take(50) {
+            prop_assert!(roundtrip.estimate(s) == base.estimate(s), "{s}: round trip drifted");
+        }
+    }
+
+    #[test]
     fn lower_bound_is_admissible(
         model in arb_model(),
         config in arb_config(),

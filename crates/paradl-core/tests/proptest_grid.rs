@@ -1,0 +1,105 @@
+//! Property-based equivalence tests of the amortized [`GridSweep`] against
+//! per-query [`Oracle::search`] calls: for *any* random grid of CNNs,
+//! batch axes, clusters and constraints (with and without top-k pruning,
+//! powers-of-two and exhaustive PE sweeps), every cell of the sweep must
+//! reproduce the per-query search exactly — same enumeration and
+//! memory-pruning counts, same ranking with byte-identical projections,
+//! same per-budget winners. Only `pruned_by_bound` may differ (documented
+//! as evaluation-order dependent).
+
+use paradl_core::prelude::*;
+use proptest::prelude::{prop_assert, prop_oneof, proptest, Just, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+
+/// A small random CNN, mirroring the generator in `proptest_engine.rs`.
+fn arb_model() -> impl PropStrategy<Value = Model> {
+    let spatial = prop_oneof![Just(16usize), Just(32)];
+    let depth = 1usize..4;
+    (spatial, depth, 4usize..32, 2usize..8).prop_map(|(s, depth, base_ch, classes)| {
+        let mut layers = Vec::new();
+        let mut ch = 3usize;
+        let mut hw = s;
+        for i in 0..depth {
+            let out = base_ch * (i + 1);
+            layers.push(Layer::conv2d(format!("conv{i}"), ch, out, (hw, hw), 3, 1, 1));
+            if hw >= 8 {
+                layers.push(Layer::pool2d(format!("pool{i}"), out, (hw, hw), 2, 2));
+                hw /= 2;
+            }
+            ch = out;
+        }
+        layers.push(Layer::global_pool("gpool", ch, &[hw, hw]));
+        layers.push(Layer::fully_connected("fc", ch, classes));
+        Model::new("random", 3, vec![s, s], layers)
+    })
+}
+
+fn arb_constraints() -> impl PropStrategy<Value = Constraints> {
+    let top_k = prop_oneof![Just(None), (1usize..12).prop_map(Some)];
+    let sweep = prop_oneof![Just(PeSweep::PowersOfTwo), Just(PeSweep::Exhaustive)];
+    (top_k, sweep, 4usize..9, 2usize..12).prop_map(|(top_k, sweep, log_pes, segments)| {
+        Constraints {
+            max_pes: 1 << log_pes,
+            top_k,
+            sweep,
+            pipeline_segments: segments,
+            ..Constraints::default()
+        }
+    })
+}
+
+/// A random batch axis: 2–3 mixed power-of-two / odd batch sizes.
+fn arb_batches() -> impl PropStrategy<Value = Vec<usize>> {
+    let entry = || (3usize..8, 0usize..4);
+    (entry(), entry(), entry(), 2usize..4).prop_map(|(a, b, c, len)| {
+        [a, b, c].iter().take(len).map(|&(log, off)| (1usize << log) + off).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grid_sweep_reproduces_per_query_searches(
+        model_a in arb_model(),
+        model_b in arb_model(),
+        batches in arb_batches(),
+        constraints in arb_constraints(),
+        chunk in 1usize..400,
+    ) {
+        let grid = QueryGrid::new(constraints)
+            .with_model(model_a, TrainingConfig::small(8192, 64))
+            .with_model(model_b, TrainingConfig::small(2048, 64))
+            .with_batches(batches)
+            .with_cluster(ClusterSpec::paper_system())
+            .with_cluster(ClusterSpec::workstation(8));
+        let sweep = GridSweep::new().with_chunk_size(chunk);
+        let fast = sweep.run(&grid);
+        let slow = sweep.run_per_query(&grid);
+        prop_assert!(fast.len() == grid.num_queries());
+        prop_assert!(fast.len() == slow.len());
+        for (a, b) in fast.cells.iter().zip(&slow.cells) {
+            prop_assert!(a.query == b.query);
+            let what = format!("{:?}", a.query);
+            prop_assert!(a.report.enumerated == b.report.enumerated, "{what}: enumerated");
+            prop_assert!(a.report.pruned_by_memory == b.report.pruned_by_memory, "{what}: pruned");
+            prop_assert!(a.report.ranked.len() == b.report.ranked.len(), "{what}: ranked len");
+            for (x, y) in a.report.ranked.iter().zip(&b.report.ranked) {
+                prop_assert!(x.strategy == y.strategy, "{what}: strategy");
+                prop_assert!(x.projection == y.projection, "{what}: projection diverged");
+            }
+            prop_assert!(
+                a.report.best_per_budget.len() == b.report.best_per_budget.len(),
+                "{what}: budget len"
+            );
+            for (x, y) in a.report.best_per_budget.iter().zip(&b.report.best_per_budget) {
+                prop_assert!(x.max_pes == y.max_pes, "{what}: budget");
+                prop_assert!(x.candidate.strategy == y.candidate.strategy, "{what}: winner");
+                prop_assert!(
+                    x.candidate.projection == y.candidate.projection,
+                    "{what}: budget projection diverged"
+                );
+            }
+        }
+    }
+}

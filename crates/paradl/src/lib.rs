@@ -12,7 +12,9 @@
 //! This umbrella crate re-exports the public API of each component:
 //!
 //! * [`oracle`] (`paradl-core`) — the analytical model and the ParaDL oracle,
-//!   including the precomputed `engine::CostEngine` search hot path,
+//!   including the precomputed `engine::CostEngine` search hot path (with
+//!   incremental `rebatch`) and the amortized `grid::QueryGrid` /
+//!   `grid::GridSweep` multi-query path,
 //! * [`models`] (`paradl-models`) — ResNet-50/152, VGG16, CosmoFlow, AlexNet,
 //! * [`net`] (`paradl-net`) — fat-tree topology, collective schedules,
 //!   contention,
