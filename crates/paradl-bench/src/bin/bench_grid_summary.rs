@@ -12,6 +12,7 @@
 //! With `PARADL_ASSERT_SPEEDUP=1` the ≥ 5× amortization floor is enforced
 //! (kept opt-in because wall-clock ratios are noisy on shared CI runners).
 
+use paradl_bench::cluster_axis;
 use paradl_core::prelude::*;
 use std::time::Instant;
 
@@ -25,26 +26,6 @@ fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
-}
-
-/// The cluster axis: the paper's evaluation system plus interconnect /
-/// node-density variants of it, in the spirit of SPEChpc-style studies
-/// sweeping one workload across interconnects and node counts (all carry
-/// the same V100 device profile, so the sweep shares one prep per model
-/// and batch across the whole axis).
-fn cluster_axis() -> Vec<ClusterSpec> {
-    let paper = ClusterSpec::paper_system();
-    let fat = ClusterSpec {
-        gpus_per_node: 8,
-        intra_rack: LinkParams::from_latency_bandwidth(10.0, 25.0),
-        inter_rack: LinkParams::from_latency_bandwidth(15.0, 25.0 / 2.0),
-        ..ClusterSpec::paper_system()
-    };
-    let oversubscribed = ClusterSpec {
-        inter_rack: LinkParams::from_latency_bandwidth(25.0, 12.5 / 6.0),
-        ..ClusterSpec::paper_system()
-    };
-    vec![paper, fat, oversubscribed]
 }
 
 fn main() {

@@ -1,0 +1,196 @@
+//! Oracle-vs-simulator conformance summary (§5.2): sweeps a paper-scale
+//! configuration grid (all four Table-5 model families × three global batch
+//! sizes × three cluster variants = 36 cells) through the amortized
+//! `GridSweep`, replays every cell's top-10 winners through the simulator,
+//! and prints the §5.2-shaped fidelity tables — per-strategy-family signed
+//! error and APE distribution, the paper's accuracy metric, and the
+//! rank correlation between the oracle's candidate ordering and the
+//! simulated ordering. Writes a machine-readable `BENCH_sim.json` so CI can
+//! track the fidelity trajectory next to `BENCH_search.json` /
+//! `BENCH_grid.json`.
+//!
+//! Run with: `cargo run --release -p paradl-bench --bin bench_sim_summary`
+//!
+//! With `PARADL_ASSERT_FIDELITY=1` the fidelity floor is enforced (overall
+//! accuracy, APE ceiling, rank-correlation floor); kept opt-in so local
+//! experiments with other overhead models don't trip it accidentally.
+
+use paradl_bench::cluster_axis;
+use paradl_core::prelude::*;
+use paradl_sim::{Conformance, OverheadModel};
+use std::time::Instant;
+
+fn main() {
+    // The paper's powers-of-two sweep to 256 PEs keeps each replay's
+    // link-level collective schedules tractable (the simulator routes every
+    // transfer through the fat-tree; a 1024-rank ring is ~2 s per replay).
+    // The batch axis tops out at 256 so CosmoFlow's activations still fit a
+    // 16 GiB V100 within that budget — every one of the 36 cells must
+    // produce replayable winners.
+    let batches = [64usize, 128, 256];
+    let constraints = Constraints {
+        max_pes: 256,
+        top_k: Some(10),
+        sweep: PeSweep::PowersOfTwo,
+        ..Constraints::default()
+    };
+    let mut grid = QueryGrid::new(constraints).with_batches(batches);
+    for cluster in cluster_axis() {
+        grid = grid.with_cluster(cluster);
+    }
+    for model in paradl_models::paper_models() {
+        let base = if model.name.starts_with("CosmoFlow") {
+            TrainingConfig::cosmoflow(batches[0])
+        } else {
+            TrainingConfig::imagenet(batches[0])
+        };
+        grid = grid.with_model(model, base);
+    }
+    println!(
+        "conformance grid: {} models x {} batches x {} clusters = {} cells",
+        grid.models().len(),
+        grid.batches().len(),
+        grid.clusters().len(),
+        grid.num_queries()
+    );
+
+    let t0 = Instant::now();
+    let sweep = GridSweep::new().run(&grid);
+    let sweep_seconds = t0.elapsed().as_secs_f64();
+
+    let harness = Conformance::new()
+        .with_overheads(OverheadModel::chainermnx_quiet())
+        .with_samples(2)
+        .with_replay_top(10)
+        .with_seed(0x5EED);
+    let t1 = Instant::now();
+    let report = harness.validate_sweep(&grid, &sweep).expect("grid has feasible winners");
+    let replay_seconds = t1.elapsed().as_secs_f64();
+
+    println!(
+        "oracle sweep {:.2} s, {} replays in {:.2} s ({:.0} ms/replay)\n",
+        sweep_seconds,
+        report.num_samples(),
+        replay_seconds,
+        replay_seconds * 1e3 / report.num_samples() as f64
+    );
+
+    println!(
+        "{:<14} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "family", "samples", "signed", "meanAPE", "p50", "p90", "maxAPE", "accuracy"
+    );
+    let row = |name: &str, s: &ErrorStats| {
+        println!(
+            "{:<14} {:>7} {:>+9.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>9.1}%",
+            name,
+            s.samples,
+            s.mean_signed_error * 100.0,
+            s.mean_ape * 100.0,
+            s.p50_ape * 100.0,
+            s.p90_ape * 100.0,
+            s.max_ape * 100.0,
+            s.mean_accuracy * 100.0
+        );
+    };
+    for family in &report.families {
+        row(&family.family.to_string(), &family.stats);
+    }
+    row("overall", &report.overall);
+
+    let rho = report.mean_rank_correlation.expect("multi-candidate cells");
+    let rho_cells = report.cells.iter().filter(|c| c.rank_correlation.is_some()).count();
+    println!(
+        "\nmean Spearman rho (oracle order vs simulated order): {:.3} over {} cells",
+        rho, rho_cells
+    );
+    println!("paper §5.2 reference: 86.74% average accuracy, data parallelism predicted best");
+
+    let family_json: Vec<String> = report
+        .families
+        .iter()
+        .map(|f| {
+            format!(
+                concat!(
+                    "    {{\"family\": \"{}\", \"samples\": {}, ",
+                    "\"mean_signed_error\": {:.6}, \"mean_ape\": {:.6}, ",
+                    "\"p50_ape\": {:.6}, \"p90_ape\": {:.6}, \"max_ape\": {:.6}, ",
+                    "\"mean_accuracy\": {:.6}}}"
+                ),
+                f.family,
+                f.stats.samples,
+                f.stats.mean_signed_error,
+                f.stats.mean_ape,
+                f.stats.p50_ape,
+                f.stats.p90_ape,
+                f.stats.max_ape,
+                f.stats.mean_accuracy
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sim_conformance\",\n",
+            "  \"cells\": {},\n",
+            "  \"replayed_winners\": {},\n",
+            "  \"replay_top\": {},\n",
+            "  \"sample_iterations\": {},\n",
+            "  \"sweep_seconds\": {:.6},\n",
+            "  \"replay_seconds\": {:.6},\n",
+            "  \"mean_rank_correlation\": {:.6},\n",
+            "  \"rank_correlation_cells\": {},\n",
+            "  \"overall\": {{\"samples\": {}, \"mean_signed_error\": {:.6}, ",
+            "\"mean_ape\": {:.6}, \"p50_ape\": {:.6}, \"p90_ape\": {:.6}, ",
+            "\"max_ape\": {:.6}, \"mean_accuracy\": {:.6}}},\n",
+            "  \"families\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        report.cells.len(),
+        report.num_samples(),
+        harness.replay_top,
+        harness.sample_iterations,
+        sweep_seconds,
+        replay_seconds,
+        rho,
+        rho_cells,
+        report.overall.samples,
+        report.overall.mean_signed_error,
+        report.overall.mean_ape,
+        report.overall.p50_ape,
+        report.overall.p90_ape,
+        report.overall.max_ape,
+        report.overall.mean_accuracy,
+        family_json.join(",\n"),
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+
+    // Fidelity floors, opt-in (PARADL_ASSERT_FIDELITY=1): the simulator is
+    // deterministic for the fixed seed, so unlike the wall-clock speedup
+    // floors these are stable across machines — they catch any change that
+    // degrades the oracle's agreement with the measured side.
+    if std::env::var_os("PARADL_ASSERT_FIDELITY").is_some() {
+        assert!(
+            report.cells.len() >= 36,
+            "conformance regression: only {} grid cells (< 36)",
+            report.cells.len()
+        );
+        assert!(
+            report.overall.mean_accuracy >= 0.60,
+            "fidelity regression: overall accuracy {:.1}% < 60%",
+            report.overall.mean_accuracy * 100.0
+        );
+        assert!(
+            report.overall.mean_ape <= 0.40,
+            "fidelity regression: overall mean APE {:.1}% > 40%",
+            report.overall.mean_ape * 100.0
+        );
+        assert!(rho >= 0.50, "fidelity regression: mean rank correlation {rho:.3} < 0.5");
+        println!(
+            "fidelity floors asserted: accuracy {:.1}% >= 60%, APE {:.1}% <= 40%, rho {:.3} >= 0.5",
+            report.overall.mean_accuracy * 100.0,
+            report.overall.mean_ape * 100.0,
+            rho
+        );
+    }
+}

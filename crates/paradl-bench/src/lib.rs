@@ -114,6 +114,28 @@ pub fn samples_per_gpu(model_name: &str) -> usize {
     }
 }
 
+/// The shared cluster axis of the grid-scale summaries (`bench_grid_summary`
+/// and `bench_sim_summary`): the paper's evaluation system plus interconnect
+/// / node-density variants of it, in the spirit of SPEChpc-style studies
+/// sweeping one workload across interconnects and node counts. All three
+/// carry the same V100 device profile, so a `GridSweep` shares one prep per
+/// (model, batch) across the whole axis — and keeping the axis in one place
+/// keeps `BENCH_grid.json` and `BENCH_sim.json` comparable.
+pub fn cluster_axis() -> Vec<ClusterSpec> {
+    let paper = ClusterSpec::paper_system();
+    let fat = ClusterSpec {
+        gpus_per_node: 8,
+        intra_rack: LinkParams::from_latency_bandwidth(10.0, 25.0),
+        inter_rack: LinkParams::from_latency_bandwidth(15.0, 25.0 / 2.0),
+        ..ClusterSpec::paper_system()
+    };
+    let oversubscribed = ClusterSpec {
+        inter_rack: LinkParams::from_latency_bandwidth(25.0, 12.5 / 6.0),
+        ..ClusterSpec::paper_system()
+    };
+    vec![paper, fat, oversubscribed]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

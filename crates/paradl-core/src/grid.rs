@@ -215,6 +215,15 @@ impl GridReport {
             c.query.model == model && c.query.batch == batch && c.query.cluster == cluster
         })
     }
+
+    /// Per-cell winner extraction: the `n` fastest ranked candidates of
+    /// every cell (fewer where the ranking is shorter), in cell order.
+    /// Cells where nothing was feasible yield an empty slice. This is the
+    /// list a conformance harness replays through a measurement source to
+    /// build a [`crate::validate::FidelityReport`].
+    pub fn winners(&self, n: usize) -> Vec<(GridQuery, &[RankedCandidate])> {
+        self.cells.iter().map(|c| (c.query, c.report.top(n))).collect()
+    }
 }
 
 /// Per-(model, batch, device) evaluation tables, shared by every cell whose

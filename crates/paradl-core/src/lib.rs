@@ -59,6 +59,7 @@ pub mod oracle;
 pub mod scaling;
 pub mod search;
 pub mod strategy;
+pub mod validate;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -79,4 +80,7 @@ pub mod prelude {
     pub use crate::scaling::{powers_of_two, speedup_over, sweep, ScalingMode, SweepPoint};
     pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};
     pub use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
+    pub use crate::validate::{
+        spearman_rho, CellFidelity, ErrorSample, ErrorStats, FamilyFidelity, FidelityReport,
+    };
 }

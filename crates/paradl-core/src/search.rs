@@ -328,6 +328,13 @@ impl SearchReport {
     pub fn evaluated(&self) -> usize {
         self.enumerated - self.pruned_by_memory - self.pruned_by_bound
     }
+
+    /// The `n` fastest ranked candidates (fewer when the ranking is
+    /// shorter) — the winners a validation harness replays against
+    /// measurements (see `paradl_core::validate`).
+    pub fn top(&self, n: usize) -> &[RankedCandidate] {
+        &self.ranked[..n.min(self.ranked.len())]
+    }
 }
 
 /// Max-heap entry of the bounded top-k heap: the *worst* retained candidate

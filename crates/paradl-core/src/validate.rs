@@ -1,0 +1,352 @@
+//! Oracle-vs-measured fidelity reporting (paper §5.2).
+//!
+//! The paper's central evaluation does not stop at ranking strategies fast —
+//! it checks that the oracle's projections *track measured training steps*
+//! (§5.2: projection accuracy per strategy family, Figure 3's per-bar
+//! accuracy labels, the 86.74%-average headline). This module provides the
+//! report types for that comparison, independent of where the measurements
+//! come from: each [`ErrorSample`] pairs one projected time with one measured
+//! time for a concrete strategy, and [`FidelityReport::from_cells`]
+//! aggregates samples into
+//!
+//! * **per-strategy-family error statistics** ([`FamilyFidelity`]): signed
+//!   relative error (does the oracle over- or under-project this family?),
+//!   the absolute-percentage-error distribution (mean / median / p90 / max),
+//!   and the paper's accuracy metric ([`crate::oracle::projection_accuracy`]),
+//! * **per-cell rank correlation** ([`CellFidelity`]): Spearman's ρ between
+//!   the oracle's ordering of a cell's candidates and the measured ordering —
+//!   the oracle's *guidance* value (picking the right strategy) is preserved
+//!   even where absolute projections drift,
+//! * **overall statistics** across every sample.
+//!
+//! The measured side in this repository is the `paradl-sim` simulator; its
+//! `conformance` module runs grid sweeps through the simulator and builds
+//! these reports. Keeping the types here (next to [`crate::grid`]) lets any
+//! other measurement source — traces from a real cluster, a different
+//! simulator — reuse the same report format.
+
+use crate::grid::GridQuery;
+use crate::oracle::projection_accuracy;
+use crate::strategy::{Strategy, StrategyKind};
+
+/// One oracle-vs-measured comparison point: the projected and measured times
+/// (same unit on both sides — the conformance harness uses per-epoch
+/// seconds) of one concrete strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSample {
+    /// The strategy both sides evaluated.
+    pub strategy: Strategy,
+    /// The oracle's projected time.
+    pub projected: f64,
+    /// The measured (or simulated) time.
+    pub measured: f64,
+}
+
+impl ErrorSample {
+    /// Signed relative error `(projected − measured) / measured`: negative
+    /// when the oracle under-projects (measured runs are slower than
+    /// promised), positive when it over-projects.
+    pub fn signed_error(&self) -> f64 {
+        if self.measured <= 0.0 {
+            return 0.0;
+        }
+        (self.projected - self.measured) / self.measured
+    }
+
+    /// Absolute percentage error `|projected − measured| / measured`.
+    pub fn ape(&self) -> f64 {
+        self.signed_error().abs()
+    }
+
+    /// The paper's §5.2 accuracy metric `1 − APE`, clamped at 0.
+    pub fn accuracy(&self) -> f64 {
+        projection_accuracy(self.projected, self.measured)
+    }
+}
+
+/// Summary statistics over a set of [`ErrorSample`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of samples aggregated.
+    pub samples: usize,
+    /// Mean signed relative error (systematic bias of the projections).
+    pub mean_signed_error: f64,
+    /// Mean absolute percentage error.
+    pub mean_ape: f64,
+    /// Median (p50) absolute percentage error.
+    pub p50_ape: f64,
+    /// 90th-percentile absolute percentage error.
+    pub p90_ape: f64,
+    /// Worst absolute percentage error.
+    pub max_ape: f64,
+    /// Mean of the paper's accuracy metric (`1 − APE`, clamped at 0).
+    pub mean_accuracy: f64,
+}
+
+impl ErrorStats {
+    /// Aggregates `samples`; returns `None` when the slice is empty.
+    pub fn of(samples: &[ErrorSample]) -> Option<ErrorStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mut apes: Vec<f64> = samples.iter().map(|s| s.ape()).collect();
+        apes.sort_by(f64::total_cmp);
+        Some(ErrorStats {
+            samples: samples.len(),
+            mean_signed_error: samples.iter().map(|s| s.signed_error()).sum::<f64>() / n,
+            mean_ape: apes.iter().sum::<f64>() / n,
+            p50_ape: percentile(&apes, 0.50),
+            p90_ape: percentile(&apes, 0.90),
+            max_ape: *apes.last().expect("non-empty"),
+            mean_accuracy: samples.iter().map(|s| s.accuracy()).sum::<f64>() / n,
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Error statistics of one strategy family, mirroring the per-strategy rows
+/// of the paper's §5.2 accuracy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyFidelity {
+    /// The strategy family.
+    pub family: StrategyKind,
+    /// Aggregated error statistics of the family's samples.
+    pub stats: ErrorStats,
+}
+
+/// Fidelity of one grid cell: how well the oracle's candidate ordering
+/// matches the measured ordering of the same candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFidelity {
+    /// The grid cell the samples belong to.
+    pub query: GridQuery,
+    /// The cell's comparison points, in the oracle's ranked order.
+    pub samples: Vec<ErrorSample>,
+    /// Spearman rank correlation between the oracle's ordering and the
+    /// measured ordering of the cell's candidates; `None` when fewer than
+    /// two candidates (or zero rank variance) make it undefined.
+    pub rank_correlation: Option<f64>,
+    /// Error statistics over the cell's samples.
+    pub stats: ErrorStats,
+}
+
+/// The oracle-vs-measured fidelity report: the shape of §5.2's accuracy
+/// tables, computed over the winners of a grid sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityReport {
+    /// Per-cell fidelity, in grid evaluation order.
+    pub cells: Vec<CellFidelity>,
+    /// Per-strategy-family statistics, in [`StrategyKind::ALL`] order
+    /// (families without samples are omitted).
+    pub families: Vec<FamilyFidelity>,
+    /// Statistics over every sample of the report.
+    pub overall: ErrorStats,
+    /// Mean Spearman ρ over the cells where it is defined; `None` when no
+    /// cell has one.
+    pub mean_rank_correlation: Option<f64>,
+}
+
+impl FidelityReport {
+    /// Builds a report from per-cell samples (each cell's samples in the
+    /// oracle's ranked order). Returns `None` when no cell carries samples.
+    pub fn from_cells(cells: Vec<(GridQuery, Vec<ErrorSample>)>) -> Option<FidelityReport> {
+        let all: Vec<ErrorSample> =
+            cells.iter().flat_map(|(_, samples)| samples.iter().copied()).collect();
+        let overall = ErrorStats::of(&all)?;
+
+        let cells: Vec<CellFidelity> = cells
+            .into_iter()
+            .filter(|(_, samples)| !samples.is_empty())
+            .map(|(query, samples)| {
+                let projected: Vec<f64> = samples.iter().map(|s| s.projected).collect();
+                let measured: Vec<f64> = samples.iter().map(|s| s.measured).collect();
+                let stats = ErrorStats::of(&samples).expect("non-empty cell");
+                CellFidelity {
+                    query,
+                    rank_correlation: spearman_rho(&projected, &measured),
+                    stats,
+                    samples,
+                }
+            })
+            .collect();
+
+        let families = StrategyKind::ALL
+            .iter()
+            .filter_map(|&family| {
+                let samples: Vec<ErrorSample> =
+                    all.iter().filter(|s| s.strategy.kind() == family).copied().collect();
+                ErrorStats::of(&samples).map(|stats| FamilyFidelity { family, stats })
+            })
+            .collect();
+
+        let rhos: Vec<f64> = cells.iter().filter_map(|c| c.rank_correlation).collect();
+        let mean_rank_correlation =
+            if rhos.is_empty() { None } else { Some(rhos.iter().sum::<f64>() / rhos.len() as f64) };
+
+        Some(FidelityReport { cells, families, overall, mean_rank_correlation })
+    }
+
+    /// The family statistics for `family`, if any sample had it.
+    pub fn family(&self, family: StrategyKind) -> Option<&FamilyFidelity> {
+        self.families.iter().find(|f| f.family == family)
+    }
+
+    /// Total number of comparison points in the report.
+    pub fn num_samples(&self) -> usize {
+        self.overall.samples
+    }
+}
+
+/// Fractional ranks of `values` (1-based, ties get the average rank — the
+/// standard treatment for Spearman's ρ).
+fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j hold tied values; their shared rank is the average
+        // of the 1-based positions.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation between two paired samples: the Pearson
+/// correlation of their fractional ranks (average ranks on ties). Returns
+/// `None` for fewer than two pairs or when either side has zero rank
+/// variance (all values tied), where ρ is undefined.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "spearman_rho: unpaired samples");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let (ra, rb) = (fractional_ranks(a), fractional_ranks(b));
+    let mean = (n + 1) as f64 / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let (da, db) = (ra[i] - mean, rb[i] - mean);
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return None;
+    }
+    Some(cov / (var_a * var_b).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(strategy: Strategy, projected: f64, measured: f64) -> ErrorSample {
+        ErrorSample { strategy, projected, measured }
+    }
+
+    #[test]
+    fn error_sample_metrics_match_definitions() {
+        let s = sample(Strategy::Data { p: 4 }, 90.0, 100.0);
+        assert!((s.signed_error() + 0.1).abs() < 1e-12);
+        assert!((s.ape() - 0.1).abs() < 1e-12);
+        assert!((s.accuracy() - 0.9).abs() < 1e-12);
+        let over = sample(Strategy::Serial, 120.0, 100.0);
+        assert!(over.signed_error() > 0.0);
+        assert_eq!(sample(Strategy::Serial, 1.0, 0.0).signed_error(), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate_distribution() {
+        let samples: Vec<ErrorSample> = [1.0f64, 1.1, 0.8, 1.3]
+            .iter()
+            .map(|&p| sample(Strategy::Data { p: 2 }, p, 1.0))
+            .collect();
+        let stats = ErrorStats::of(&samples).unwrap();
+        assert_eq!(stats.samples, 4);
+        assert!((stats.max_ape - 0.3).abs() < 1e-12);
+        assert!((stats.mean_ape - 0.15).abs() < 1e-12);
+        // Signed errors: 0, +0.1, −0.2, +0.3 → mean +0.05.
+        assert!((stats.mean_signed_error - 0.05).abs() < 1e-12);
+        assert!(stats.p50_ape <= stats.p90_ape && stats.p90_ape <= stats.max_ape);
+        assert!(ErrorStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn spearman_detects_perfect_and_inverted_orderings() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman_rho(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert!(spearman_rho(&a[..1], &up[..1]).is_none());
+        assert!(spearman_rho(&a, &[5.0, 5.0, 5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_average_ranks() {
+        // b has a tie; correlation should be strictly between 0 and 1.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        let rho = spearman_rho(&a, &b).unwrap();
+        assert!(rho > 0.9 && rho < 1.0, "rho = {rho}");
+        assert_eq!(fractional_ranks(&b), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn report_groups_by_family_and_cell() {
+        let q = |m: usize| GridQuery { model: m, cluster: 0, batch: 64 };
+        let cells = vec![
+            (
+                q(0),
+                vec![
+                    sample(Strategy::Data { p: 4 }, 10.0, 11.0),
+                    sample(Strategy::Filter { p: 4 }, 20.0, 26.0),
+                    sample(Strategy::Data { p: 8 }, 30.0, 31.0),
+                ],
+            ),
+            (q(1), vec![sample(Strategy::Serial, 5.0, 5.0)]),
+            (q(2), vec![]),
+        ];
+        let report = FidelityReport::from_cells(cells).unwrap();
+        assert_eq!(report.num_samples(), 4);
+        assert_eq!(report.cells.len(), 2, "empty cells are dropped");
+        assert_eq!(report.family(StrategyKind::Data).unwrap().stats.samples, 2);
+        assert_eq!(report.family(StrategyKind::Filter).unwrap().stats.samples, 1);
+        assert!(report.family(StrategyKind::Pipeline).is_none());
+        // First cell's projected and measured orders agree → ρ = 1.
+        assert!((report.cells[0].rank_correlation.unwrap() - 1.0).abs() < 1e-12);
+        // Single-sample cell has no defined ρ, so the mean comes from cell 0.
+        assert!(report.cells[1].rank_correlation.is_none());
+        assert!((report.mean_rank_correlation.unwrap() - 1.0).abs() < 1e-12);
+        // Data parallelism is projected more accurately than filter here.
+        let data = report.family(StrategyKind::Data).unwrap().stats.mean_accuracy;
+        let filter = report.family(StrategyKind::Filter).unwrap().stats.mean_accuracy;
+        assert!(data > filter);
+    }
+
+    #[test]
+    fn report_of_no_samples_is_none() {
+        assert!(FidelityReport::from_cells(vec![]).is_none());
+        let q = GridQuery { model: 0, cluster: 0, batch: 1 };
+        assert!(FidelityReport::from_cells(vec![(q, vec![])]).is_none());
+    }
+}

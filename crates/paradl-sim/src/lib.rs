@@ -9,14 +9,18 @@
 //! split/concat glue, memory stalls, network congestion).
 //!
 //! The simulator substitutes for the 1024-GPU V100 cluster and ChainerMNX
-//! measurements of the paper; the oracle-vs-simulator comparison reproduces
-//! the oracle-vs-measured accuracy evaluation of §5.2.
+//! measurements of the paper; the [`conformance`] module closes the loop —
+//! it sweeps a query grid through the oracle, replays every cell's winners
+//! through the simulator, and reports the §5.2-style fidelity statistics
+//! (per-family error, APE distribution, rank correlation).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod conformance;
 pub mod engine;
 pub mod overheads;
 
+pub use conformance::Conformance;
 pub use engine::{MeasuredResult, Simulator};
 pub use overheads::{OverheadModel, OverheadSampler};

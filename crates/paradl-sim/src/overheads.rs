@@ -82,6 +82,32 @@ impl Default for OverheadModel {
 }
 
 /// Per-run random draws of the overhead model.
+///
+/// **Draw alignment.** Every sampler method consumes a *fixed* number of
+/// uniform draws, independent of the model's parameters and of which
+/// overheads actually trigger: [`OverheadSampler::compute_multiplier`]
+/// always consumes two draws (noise, stall decision) and
+/// [`OverheadSampler::congestion_multiplier`] always consumes two
+/// (congestion decision, severity). Two samplers with the same seed
+/// therefore stay position-aligned across *different* overhead models,
+/// which makes two properties hold exactly (both tested in
+/// `tests/proptest_sim.rs`):
+///
+/// * **determinism** — a run's draw stream never depends on which branches
+///   trigger, so replaying a strategy yields byte-identical times no matter
+///   what ran before on other threads or with other models;
+/// * **monotonicity** — raising any directional overhead knob
+///   (probabilities, stall/congestion factors, split inefficiency, glue
+///   time) while holding the symmetric `compute_noise` fixed reuses the
+///   same underlying draws and can only slow the run down, because each
+///   decision compares the *same* uniform draw against a larger threshold
+///   and each severity maps the *same* draw through a pointwise-larger
+///   function.
+///
+/// Before this discipline, a triggered overhead consumed extra draws, so
+/// two models with the same seed diverged after the first branch taken by
+/// only one of them — "more overhead" could then randomly *speed up* later
+/// iterations through a luckier noise stream.
 #[derive(Debug)]
 pub struct OverheadSampler {
     model: OverheadModel,
@@ -99,16 +125,18 @@ impl OverheadSampler {
         &self.model
     }
 
+    /// One uniform draw in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        self.rng.gen_range(0.0f64..1.0)
+    }
+
     /// Multiplier applied to a compute time (noise + possible memory stall).
+    /// Always consumes exactly two draws (see the type docs).
     pub fn compute_multiplier(&mut self) -> f64 {
-        let noise = if self.model.compute_noise > 0.0 {
-            1.0 + self.rng.gen_range(-self.model.compute_noise..=self.model.compute_noise)
-        } else {
-            1.0
-        };
-        let stall = if self.model.memory_stall_probability > 0.0
-            && self.rng.gen_bool(self.model.memory_stall_probability)
-        {
+        let noise_u = self.uniform();
+        let stall_u = self.uniform();
+        let noise = 1.0 + self.model.compute_noise * (2.0 * noise_u - 1.0);
+        let stall = if stall_u < self.model.memory_stall_probability {
             self.model.memory_stall_factor
         } else {
             1.0
@@ -117,11 +145,12 @@ impl OverheadSampler {
     }
 
     /// Multiplier applied to a collective's time (external congestion).
+    /// Always consumes exactly two draws (see the type docs).
     pub fn congestion_multiplier(&mut self) -> f64 {
-        if self.model.congestion_probability > 0.0
-            && self.rng.gen_bool(self.model.congestion_probability)
-        {
-            self.rng.gen_range(1.5..=self.model.congestion_max_factor)
+        let hit_u = self.uniform();
+        let severity_u = self.uniform();
+        if hit_u < self.model.congestion_probability {
+            1.5 + (self.model.congestion_max_factor - 1.5).max(0.0) * severity_u
         } else {
             1.0
         }

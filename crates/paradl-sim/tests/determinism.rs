@@ -1,0 +1,83 @@
+//! Determinism of the conformance subsystem: a fidelity sweep must be
+//! byte-identical for a fixed seed no matter how its replays are scheduled.
+//!
+//! The parallel path fans the (cell, candidate) replay jobs out over rayon,
+//! so the test compares it against `Conformance::validate_sweep_serial` —
+//! the same job plan executed on one thread (equivalently: any thread
+//! count, since each job's `OverheadSampler` is seeded from the job's grid
+//! coordinates and shares no state). Every float is compared exactly
+//! (`PartialEq` on the report), not within a tolerance: a single
+//! order-dependent RNG draw or accumulation would flip low bits and fail.
+
+use paradl_core::prelude::*;
+use paradl_sim::{Conformance, OverheadModel, Simulator};
+
+fn model(seed: usize) -> Model {
+    Model::new(
+        format!("m{seed}"),
+        3,
+        vec![32, 32],
+        vec![
+            Layer::conv2d("c1", 3, 32 + 16 * seed, (32, 32), 3, 1, 1),
+            Layer::pool2d("p1", 32 + 16 * seed, (32, 32), 2, 2),
+            Layer::conv2d("c2", 32 + 16 * seed, 64, (16, 16), 3, 1, 1),
+            Layer::global_pool("g", 64, &[16, 16]),
+            Layer::fully_connected("fc", 64, 10),
+        ],
+    )
+}
+
+fn grid() -> QueryGrid {
+    let constraints = Constraints { max_pes: 64, top_k: Some(5), ..Constraints::default() };
+    QueryGrid::new(constraints)
+        .with_model(model(0), TrainingConfig::small(8192, 64))
+        .with_model(model(1), TrainingConfig::small(4096, 64))
+        .with_batches([32usize, 64])
+        .with_cluster(ClusterSpec::paper_system())
+        .with_cluster(ClusterSpec::workstation(8))
+}
+
+/// The full-noise overhead model exercises every random draw of the
+/// sampler (stalls, congestion, jitter), so any order-dependence in how
+/// draws are consumed across replay jobs would surface here.
+fn harness() -> Conformance {
+    Conformance::new().with_overheads(OverheadModel::chainermnx()).with_samples(3).with_seed(7)
+}
+
+#[test]
+fn parallel_conformance_is_byte_identical_to_serial() {
+    let grid = grid();
+    let sweep = GridSweep::new().run(&grid);
+    let harness = harness();
+    let parallel = harness.validate_sweep(&grid, &sweep).expect("winners exist");
+    let serial = harness.validate_sweep_serial(&grid, &sweep).expect("winners exist");
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn repeated_conformance_runs_are_byte_identical() {
+    let grid = grid();
+    let harness = harness();
+    let a = harness.run(&grid).expect("winners exist");
+    let b = harness.run(&grid).expect("winners exist");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn simulator_replays_are_byte_identical_per_seed() {
+    let m = model(0);
+    let config = TrainingConfig::small(8192, 64);
+    let cluster = ClusterSpec::paper_system();
+    let device = DeviceProfile::v100();
+    let sim = |seed: u64| {
+        Simulator::new(&device, &cluster)
+            .with_overheads(OverheadModel::chainermnx())
+            .with_samples(5)
+            .with_seed(seed)
+    };
+    let a = sim(99).simulate(&m, &config, Strategy::DataFilter { p1: 8, p2: 4 });
+    let b = sim(99).simulate(&m, &config, Strategy::DataFilter { p1: 8, p2: 4 });
+    assert_eq!(a, b);
+    let c = sim(100).simulate(&m, &config, Strategy::DataFilter { p1: 8, p2: 4 });
+    assert!(a.per_epoch.total() != c.per_epoch.total(), "different seeds should differ");
+}

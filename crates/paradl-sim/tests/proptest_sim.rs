@@ -1,0 +1,196 @@
+//! Property tests for the simulator, pinning the two relations that make it
+//! a sound "measured" side for the oracle comparison:
+//!
+//! * **lower-bound admissibility** — for every non-pipeline candidate the
+//!   simulated epoch time dominates the oracle's compute-only
+//!   `CostEngine::lower_bound` whenever the overhead model is *directional*
+//!   (no symmetric compute noise): the simulator's compute path evaluates
+//!   the same per-layer times (splits keep their kernel overhead, so a
+//!   split layer is never cheaper than `full/p`), every overhead multiplier
+//!   is ≥ 1 and every communication term is ≥ 0. Pipeline is excluded *by
+//!   theorem, not by weakness*: the paper's pipeline formula prices every
+//!   one of the `p + S − 1` critical-path slots at the slowest stage, which
+//!   upper-bounds the simulator's dependency-driven schedule for unbalanced
+//!   stages — the third property pins exactly that.
+//! * **overhead monotonicity** — raising any directional overhead knob
+//!   (split inefficiency, glue time, stall/congestion probability or
+//!   factor) while holding the symmetric noise fixed never makes a
+//!   simulated run faster. This relies on the draw-aligned sampler
+//!   discipline (`OverheadSampler` consumes a fixed number of draws per
+//!   call), which keeps the two runs' RNG streams position-aligned.
+
+use paradl_core::prelude::*;
+use paradl_sim::{OverheadModel, Simulator};
+use proptest::prelude::{prop_assert, prop_oneof, proptest, Just, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+
+/// A small random CNN, mirroring the generator in
+/// `paradl-core/tests/proptest_grid.rs`.
+fn arb_model() -> impl PropStrategy<Value = Model> {
+    let spatial = prop_oneof![Just(16usize), Just(32)];
+    let depth = 1usize..4;
+    (spatial, depth, 4usize..32, 2usize..8).prop_map(|(s, depth, base_ch, classes)| {
+        let mut layers = Vec::new();
+        let mut ch = 3usize;
+        let mut hw = s;
+        for i in 0..depth {
+            let out = base_ch * (i + 1);
+            layers.push(Layer::conv2d(format!("conv{i}"), ch, out, (hw, hw), 3, 1, 1));
+            if hw >= 8 {
+                layers.push(Layer::pool2d(format!("pool{i}"), out, (hw, hw), 2, 2));
+                hw /= 2;
+            }
+            ch = out;
+        }
+        layers.push(Layer::global_pool("gpool", ch, &[hw, hw]));
+        layers.push(Layer::fully_connected("fc", ch, classes));
+        Model::new("random", 3, vec![s, s], layers)
+    })
+}
+
+/// A directional overhead model: every knob slows the run down or leaves it
+/// unchanged, and the symmetric compute noise is off.
+fn arb_directional_overheads() -> impl PropStrategy<Value = OverheadModel> {
+    (0.0f64..0.05, 0.0f64..300e-6, 0.0f64..1.0, 1.0f64..1.5, 0.0f64..1.0, 1.5f64..4.0).prop_map(
+        |(ineff, glue, stall_p, stall_f, cong_p, cong_max)| OverheadModel {
+            conv_split_inefficiency: ineff,
+            split_concat_per_layer: glue,
+            memory_stall_probability: stall_p,
+            memory_stall_factor: stall_f,
+            congestion_probability: cong_p,
+            congestion_max_factor: cong_max,
+            compute_noise: 0.0,
+        },
+    )
+}
+
+/// Non-negative increments for every directional knob (probabilities are
+/// clamped back into `[0, 1]` by the caller).
+fn arb_overhead_increments() -> impl PropStrategy<Value = (f64, f64, f64, f64, f64, f64)> {
+    (0.0f64..0.05, 0.0f64..200e-6, 0.0f64..0.5, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..2.0)
+}
+
+/// A training configuration whose dataset is an exact multiple of the
+/// batch, so `D = I · B` holds without truncation (the oracle's epoch
+/// formulas use `D` directly while the simulator extrapolates `I` sampled
+/// iterations — a non-divisible dataset would open a gap unrelated to the
+/// properties under test).
+fn divisible_config(batch: usize, iters: usize) -> TrainingConfig {
+    TrainingConfig::small(batch * iters, batch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_time_dominates_oracle_lower_bound(
+        model in arb_model(),
+        overheads in arb_directional_overheads(),
+        log_batch in 4usize..7,
+        iters in 2usize..20,
+        pick in 0usize..10_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let batch = 1usize << log_batch;
+        let config = divisible_config(batch, iters);
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let constraints = Constraints { max_pes: 64, ..Constraints::default() };
+        let candidates: Vec<Strategy> = StrategySpace::new(&model, batch, &constraints)
+            .filter(|s| s.kind() != StrategyKind::Pipeline)
+            .collect();
+        prop_assert!(!candidates.is_empty());
+        let strategy = candidates[pick % candidates.len()];
+
+        let engine = CostEngine::new(&model, &device, &cluster, config);
+        let lb = engine.lower_bound(strategy);
+        let sim = Simulator::new(&device, &cluster)
+            .with_overheads(overheads)
+            .with_samples(2)
+            .with_seed(seed);
+        let measured = sim.simulate(&model, &config, strategy).per_epoch.total();
+        prop_assert!(
+            measured >= lb * (1.0 - 1e-12),
+            "{strategy}: measured {measured} < lower bound {lb}"
+        );
+    }
+
+    #[test]
+    fn more_overhead_never_speeds_a_run_up(
+        model in arb_model(),
+        base in arb_directional_overheads(),
+        inc in arb_overhead_increments(),
+        noise in 0.0f64..0.05,
+        log_batch in 4usize..7,
+        pick in 0usize..10_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let batch = 1usize << log_batch;
+        let config = divisible_config(batch, 8);
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let constraints = Constraints { max_pes: 64, ..Constraints::default() };
+        let candidates: Vec<Strategy> =
+            StrategySpace::new(&model, batch, &constraints).into_vec();
+        let strategy = candidates[pick % candidates.len()];
+
+        // `slower` dominates `faster` in every directional knob; the
+        // symmetric noise is shared so the aligned draws produce the same
+        // jitter on both sides.
+        let faster = OverheadModel { compute_noise: noise, ..base };
+        let slower = OverheadModel {
+            conv_split_inefficiency: base.conv_split_inefficiency + inc.0,
+            split_concat_per_layer: base.split_concat_per_layer + inc.1,
+            memory_stall_probability: (base.memory_stall_probability + inc.2).min(1.0),
+            memory_stall_factor: base.memory_stall_factor + inc.3,
+            congestion_probability: (base.congestion_probability + inc.4).min(1.0),
+            congestion_max_factor: base.congestion_max_factor + inc.5,
+            compute_noise: noise,
+        };
+        let run = |overheads: OverheadModel| {
+            Simulator::new(&device, &cluster)
+                .with_overheads(overheads)
+                .with_samples(2)
+                .with_seed(seed)
+                .simulate(&model, &config, strategy)
+                .per_epoch
+                .total()
+        };
+        let t_fast = run(faster);
+        let t_slow = run(slower);
+        prop_assert!(
+            t_slow >= t_fast * (1.0 - 1e-12),
+            "{strategy}: more overhead sped the run up ({t_slow} < {t_fast})"
+        );
+    }
+
+    #[test]
+    fn oracle_pipeline_compute_upper_bounds_the_dependency_schedule(
+        model in arb_model(),
+        log_batch in 4usize..7,
+        p in 2usize..6,
+        log_segments in 0usize..5,
+    ) {
+        let batch = 1usize << log_batch;
+        let segments = (1usize << log_segments).min(batch);
+        let config = divisible_config(batch, 8);
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let strategy = Strategy::Pipeline { p: p.min(model.num_layers()), segments };
+
+        let engine = CostEngine::new(&model, &device, &cluster, config);
+        let projected_fb = engine.estimate(strategy).per_iteration().forward_backward;
+        let sim = Simulator::new(&device, &cluster)
+            .with_overheads(OverheadModel::ideal())
+            .with_samples(1);
+        let measured_fb =
+            sim.simulate(&model, &config, strategy).per_iteration.forward_backward;
+        // The oracle prices all p+S−1 critical-path slots at the slowest
+        // stage; the simulator's dependency schedule pays each stage its own
+        // time, so its compute can only be faster (never slower).
+        prop_assert!(
+            measured_fb <= projected_fb * (1.0 + 1e-12),
+            "pipeline {strategy}: simulated fb {measured_fb} > projected fb {projected_fb}"
+        );
+    }
+}

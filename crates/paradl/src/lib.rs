@@ -52,6 +52,6 @@ pub mod prelude {
     pub use paradl_data::{DatasetSpec, SyntheticDataset};
     pub use paradl_models::{alexnet, cosmoflow, resnet152, resnet50, vgg16, SyntheticCnn};
     pub use paradl_net::{FatTree, Schedule, Transfer};
-    pub use paradl_sim::{MeasuredResult, OverheadModel, Simulator};
+    pub use paradl_sim::{Conformance, MeasuredResult, OverheadModel, Simulator};
     pub use paradl_tensor::{SmallCnn, SmallCnnConfig, Tensor};
 }

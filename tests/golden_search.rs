@@ -1,0 +1,388 @@
+//! Golden-fixture snapshot tests: the standing regression corpus of the
+//! oracle's rankings.
+//!
+//! For every bundled Table-5 model, `tests/fixtures/golden_<model>.json`
+//! pins the top-10 of the `SearchReport` at each (global batch × cluster)
+//! cell of a fixed grid — the strategy ranking, projected epoch times and
+//! per-PE memory, plus the enumeration/pruning counters. The test fails on
+//! *any* ranking change and on any cost drift beyond a relative 1e-9, so an
+//! unintended change anywhere in the cost model, engine, enumeration or
+//! sweep machinery surfaces as a readable fixture diff.
+//!
+//! When a change is intentional, re-bless the fixtures with
+//!
+//! ```bash
+//! PARADL_BLESS=1 cargo test -q --test golden_search
+//! ```
+//!
+//! and commit the rewritten JSON files (the diff *is* the review artifact).
+//!
+//! The fixtures are written and read with a self-contained JSON
+//! emitter/parser below (the offline workspace has no serde); floats are
+//! serialized with Rust's shortest-round-trip `Display`, so blessed values
+//! reparse bit-exactly and the 1e-9 tolerance only absorbs genuine
+//! arithmetic drift, not serialization loss.
+
+use paradl::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Relative drift tolerance for projected costs and memory.
+const TOLERANCE: f64 = 1e-9;
+/// Ranking depth pinned per cell.
+const TOP: usize = 10;
+
+/// The fixture grid: every bundled model × these batches × these clusters,
+/// searched under the paper's powers-of-two sweep with top-10 ranking.
+const BATCHES: [usize; 2] = [256, 1024];
+
+fn clusters() -> Vec<(&'static str, ClusterSpec)> {
+    vec![("paper", ClusterSpec::paper_system()), ("workstation8", ClusterSpec::workstation(8))]
+}
+
+fn constraints() -> Constraints {
+    Constraints { max_pes: 1024, top_k: Some(TOP), ..Constraints::default() }
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+fn base_config(model: &Model, batch: usize) -> TrainingConfig {
+    if model.name.starts_with("CosmoFlow") {
+        TrainingConfig::cosmoflow(batch)
+    } else {
+        TrainingConfig::imagenet(batch)
+    }
+}
+
+/// Sweeps one model over the fixture grid and returns
+/// `(batch, cluster_name, report)` per cell.
+fn sweep_model(model: &Model) -> Vec<(usize, String, SearchReport)> {
+    let mut grid = QueryGrid::new(constraints())
+        .with_model(model.clone(), base_config(model, BATCHES[0]))
+        .with_batches(BATCHES);
+    let names: Vec<String> = clusters().iter().map(|(n, _)| n.to_string()).collect();
+    for (_, cluster) in clusters() {
+        grid = grid.with_cluster(cluster);
+    }
+    GridSweep::new()
+        .run(&grid)
+        .cells
+        .into_iter()
+        .map(|cell| (cell.query.batch, names[cell.query.cluster].clone(), cell.report))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fixture serialization.
+// ---------------------------------------------------------------------------
+
+fn render_fixture(model: &Model, cells: &[(usize, String, SearchReport)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"model\": \"{}\",", model.name);
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, (batch, cluster, report)) in cells.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"batch\": {batch},");
+        let _ = writeln!(out, "      \"cluster\": \"{cluster}\",");
+        let _ = writeln!(out, "      \"enumerated\": {},", report.enumerated);
+        let _ = writeln!(out, "      \"pruned_by_memory\": {},", report.pruned_by_memory);
+        let _ = writeln!(out, "      \"top\": [");
+        let top = report.top(TOP);
+        for (j, c) in top.iter().enumerate() {
+            let comma = if j + 1 < top.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"strategy\": \"{}\", \"pes\": {}, \"epoch_time\": {}, \"memory_per_pe\": {}}}{comma}",
+                c.strategy,
+                c.strategy.total_pes(),
+                c.projection.cost.epoch_time(),
+                c.projection.cost.memory_per_pe_bytes
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers — the subset the
+// fixtures use).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(f64),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("fixture missing key {key:?}")),
+            other => panic!("expected object with key {key:?}, got {other:?}"),
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value();
+        p.skip_ws();
+        assert!(p.pos == p.bytes.len(), "trailing fixture content at byte {}", p.pos);
+        value
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert!(
+            self.bytes.get(self.pos) == Some(&b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("unexpected end of fixture")
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(fields);
+                }
+                other => panic!("expected ',' or '}}', got {:?}", other as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("expected ',' or ']', got {:?}", other as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let start = self.pos;
+        while self.bytes[self.pos] != b'"' {
+            assert!(self.bytes[self.pos] != b'\\', "fixture strings are escape-free");
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8").to_string();
+        self.pos += 1;
+        s
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8");
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot test.
+// ---------------------------------------------------------------------------
+
+fn relative_drift(current: f64, blessed: f64) -> f64 {
+    if blessed == 0.0 {
+        current.abs()
+    } else {
+        (current - blessed).abs() / blessed.abs()
+    }
+}
+
+#[test]
+fn golden_rankings_have_not_drifted() {
+    let bless = std::env::var_os("PARADL_BLESS").is_some();
+    let dir = fixture_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+    }
+
+    for model in paradl::models::paper_models() {
+        let cells = sweep_model(&model);
+        let path = dir.join(format!("golden_{}.json", slug(&model.name)));
+
+        if bless {
+            std::fs::write(&path, render_fixture(&model, &cells))
+                .unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+            println!("blessed {}", path.display());
+            continue;
+        }
+
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); run `PARADL_BLESS=1 cargo test -q --test \
+                 golden_search` to create it",
+                path.display()
+            )
+        });
+        let fixture = Parser::parse(&text);
+        assert_eq!(fixture.get("model").str(), model.name, "{}", path.display());
+
+        let blessed_cells = fixture.get("cells").arr();
+        assert_eq!(
+            blessed_cells.len(),
+            cells.len(),
+            "{}: cell count changed (grid definition drifted?)",
+            path.display()
+        );
+        for (blessed, (batch, cluster, report)) in blessed_cells.iter().zip(&cells) {
+            let at = format!("{} B={batch} cluster={cluster}", model.name);
+            assert_eq!(blessed.get("batch").num() as usize, *batch, "{at}: cell order");
+            assert_eq!(blessed.get("cluster").str(), cluster, "{at}: cell order");
+            assert_eq!(
+                blessed.get("enumerated").num() as usize,
+                report.enumerated,
+                "{at}: enumeration count drifted"
+            );
+            assert_eq!(
+                blessed.get("pruned_by_memory").num() as usize,
+                report.pruned_by_memory,
+                "{at}: memory-pruning count drifted"
+            );
+            let top = report.top(TOP);
+            let blessed_top = blessed.get("top").arr();
+            assert_eq!(blessed_top.len(), top.len(), "{at}: ranking length drifted");
+            for (rank, (b, c)) in blessed_top.iter().zip(top).enumerate() {
+                assert_eq!(
+                    b.get("strategy").str(),
+                    c.strategy.to_string(),
+                    "{at}: ranking drifted at position {rank}"
+                );
+                let time_drift =
+                    relative_drift(c.projection.cost.epoch_time(), b.get("epoch_time").num());
+                assert!(
+                    time_drift <= TOLERANCE,
+                    "{at}: epoch time of {} drifted by {time_drift:e} (> {TOLERANCE:e})",
+                    c.strategy
+                );
+                let mem_drift = relative_drift(
+                    c.projection.cost.memory_per_pe_bytes,
+                    b.get("memory_per_pe").num(),
+                );
+                assert!(
+                    mem_drift <= TOLERANCE,
+                    "{at}: per-PE memory of {} drifted by {mem_drift:e} (> {TOLERANCE:e})",
+                    c.strategy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixture_parser_round_trips_the_emitter() {
+    // Self-check of the test plumbing: a rendered fixture parses back into
+    // the values it was rendered from (shortest-round-trip floats).
+    let model = paradl::models::cosmoflow();
+    let cells = sweep_model(&model);
+    let parsed = Parser::parse(&render_fixture(&model, &cells));
+    assert_eq!(parsed.get("model").str(), model.name);
+    let parsed_cells = parsed.get("cells").arr();
+    assert_eq!(parsed_cells.len(), cells.len());
+    for (blessed, (_, _, report)) in parsed_cells.iter().zip(&cells) {
+        for (b, c) in blessed.get("top").arr().iter().zip(report.top(TOP)) {
+            assert_eq!(b.get("strategy").str(), c.strategy.to_string());
+            assert_eq!(b.get("epoch_time").num(), c.projection.cost.epoch_time());
+            assert_eq!(b.get("memory_per_pe").num(), c.projection.cost.memory_per_pe_bytes);
+        }
+    }
+}

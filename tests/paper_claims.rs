@@ -1,5 +1,9 @@
 //! Tests tied to specific quantitative or qualitative claims of the paper,
-//! so a regression in the reproduction is caught as a broken "claim".
+//! so a regression in the reproduction is caught as a broken "claim". Every
+//! test's doc comment names the paper table/figure/section it mirrors; the
+//! §5.2 oracle-validation claims are driven by the conformance subsystem
+//! (`paradl_sim::conformance`), the same oracle-vs-measured loop the paper
+//! runs against ChainerMNX on the 1024-GPU cluster.
 
 use paradl::prelude::*;
 
@@ -17,9 +21,9 @@ fn table5_model_sizes() {
     assert!((1e6..6e6).contains(&(paradl::models::cosmoflow().total_params() as f64)));
 }
 
-/// §5.3.4: filter parallelism of VGG16 / ResNet-50 cannot exceed 64 GPUs
-/// (the minimum filter count), and pipeline parallelism is bounded by the
-/// number of layers.
+/// §5.3.4 and Table 3's scaling-limit column: filter parallelism of VGG16 /
+/// ResNet-50 cannot exceed 64 GPUs (the minimum filter count), and pipeline
+/// parallelism is bounded by the number of layers.
 #[test]
 fn scaling_limits_match_section_5_3_4() {
     let vgg = paradl::models::vgg16();
@@ -56,9 +60,10 @@ fn figure7_weight_update_share_grows_with_model_size() {
     assert!(s_vgg > 0.008, "VGG16 weight-update share {s_vgg}");
 }
 
-/// §5.3.1: with a batch of ≥32 samples the layer-wise communication of
-/// filter/channel parallelism exceeds the gradient-exchange communication of
-/// data parallelism, even though the activations are smaller than the weights.
+/// §5.3.1 (Figure 3's FB-Allgather/FB-Allreduce vs GE columns): with a batch
+/// of ≥32 samples the layer-wise communication of filter/channel parallelism
+/// exceeds the gradient-exchange communication of data parallelism, even
+/// though the activations are smaller than the weights.
 #[test]
 fn layerwise_comm_exceeds_gradient_exchange_at_batch_32() {
     let model = paradl::models::resnet50();
@@ -75,9 +80,9 @@ fn layerwise_comm_exceeds_gradient_exchange_at_batch_32() {
     );
 }
 
-/// §5.3.2 (memory redundancy): filter/channel parallelism does not reduce the
-/// activation footprint, so its per-PE memory stays close to serial for
-/// activation-heavy models, while spatial parallelism divides it.
+/// §5.3.2 and Table 6 (memory redundancy): filter/channel parallelism does
+/// not reduce the activation footprint, so its per-PE memory stays close to
+/// serial for activation-heavy models, while spatial parallelism divides it.
 #[test]
 fn memory_redundancy_of_model_horizontal_parallelism() {
     let model = paradl::models::cosmoflow();
@@ -107,8 +112,9 @@ fn figure5_data_spatial_scaling_is_nearly_linear() {
     assert!((14.0..=16.5).contains(&speedup), "compute speedup with 16 data groups = {speedup}");
 }
 
-/// §5.2: the hierarchical (leader-based) Allreduce of Data+Spatial costs more
-/// than the flat data-parallel Allreduce — the paper observes more than 2×.
+/// §5.2 (Figure 3's GE column for Data+Spatial vs Data): the hierarchical
+/// (leader-based) Allreduce of Data+Spatial costs more than the flat
+/// data-parallel Allreduce — the paper observes more than 2×.
 #[test]
 fn hierarchical_allreduce_overhead_of_data_spatial() {
     let model = paradl::models::vgg16();
@@ -128,45 +134,94 @@ fn hierarchical_allreduce_overhead_of_data_spatial() {
     assert!(ratio > 1.5, "hierarchical/flat Allreduce ratio = {ratio}");
 }
 
-/// Headline claim (§5.2): across models and strategies the oracle's average
-/// accuracy against the measured (simulated) runs is well above 80%, and data
-/// parallelism is the most accurately predicted strategy.
+/// Headline claim (§5.2, Figure 3's accuracy labels; the paper reports an
+/// 86.74% average and up to 97.57% for data parallelism): the oracle's
+/// projections track measured training steps. Driven by the conformance
+/// subsystem — one grid sweep picks each cell's winners, every winner is
+/// replayed through the simulator, and the `FidelityReport` carries the
+/// §5.2-shaped statistics this test asserts on.
 #[test]
-fn headline_average_accuracy_against_simulator() {
-    let device = DeviceProfile::v100();
-    let cluster = ClusterSpec::paper_system();
-    let sim = Simulator::new(&device, &cluster)
+fn section_5_2_oracle_tracks_simulated_measurements() {
+    let constraints = Constraints { max_pes: 64, top_k: Some(5), ..Constraints::default() };
+    let grid = QueryGrid::new(constraints)
+        .with_model(paradl::models::resnet50(), TrainingConfig::imagenet(512))
+        .with_batches([512usize, 1024])
+        .with_cluster(ClusterSpec::paper_system());
+    let report = Conformance::new()
         .with_overheads(OverheadModel::chainermnx_quiet())
-        .with_samples(2);
-    let model = paradl::models::resnet50();
-    let mut accs = Vec::new();
-    let mut data_accs = Vec::new();
-    for p in [16usize, 64] {
-        let config = TrainingConfig::imagenet(32 * p);
-        let oracle = Oracle::new(&model, &device, &cluster, config);
-        for strategy in [
-            Strategy::Data { p },
-            Strategy::DataFilter { p1: p / 4, p2: 4 },
-            Strategy::Filter { p: 16 },
-        ] {
-            let projected = oracle.project(strategy).cost;
-            let measured = sim.simulate(&model, &config, strategy);
-            let acc = projection_accuracy(
-                projected.per_iteration().total(),
-                measured.per_iteration.total(),
-            );
-            accs.push(acc);
-            if matches!(strategy, Strategy::Data { .. }) {
-                data_accs.push(acc);
-            }
-        }
+        .with_samples(2)
+        .run(&grid)
+        .expect("every cell has feasible winners");
+
+    // Every cell was replayed, winner-deep.
+    assert_eq!(report.cells.len(), grid.num_queries());
+    assert!(report.num_samples() >= 2 * 5, "replayed {}", report.num_samples());
+
+    // The simulator routes most ring hops over NVLink while the oracle
+    // prices every hop at the bottleneck link, so the mean sits below the
+    // paper's 86.7%; the floor guards against regressions of the agreement.
+    assert!(
+        report.overall.mean_accuracy > 0.55,
+        "average accuracy {:.3}",
+        report.overall.mean_accuracy
+    );
+
+    // §5.2: data parallelism is the most accurately predicted strategy —
+    // no other replayed family beats it by more than a rounding margin.
+    let data = report.family(StrategyKind::Data).expect("data candidates among the winners");
+    for family in &report.families {
+        assert!(
+            data.stats.mean_accuracy >= family.stats.mean_accuracy - 0.05,
+            "data parallelism accuracy {:.3} well below {} accuracy {:.3}",
+            data.stats.mean_accuracy,
+            family.family,
+            family.stats.mean_accuracy
+        );
     }
-    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-    let data_mean = data_accs.iter().sum::<f64>() / data_accs.len() as f64;
-    // The simulator routes most ring hops over NVLink while the oracle prices
-    // every hop at the bottleneck link, so the filter/hybrid points pull the
-    // mean below the paper's 86.7%; the floor here guards against regressions
-    // rather than matching the headline number exactly.
-    assert!(mean > 0.55, "average accuracy {mean}");
-    assert!(data_mean >= mean - 0.05, "data parallelism accuracy {data_mean} vs mean {mean}");
+
+    // §5.2's purpose: the oracle *guides* — its candidate ordering must
+    // correlate with the measured ordering inside each cell.
+    let rho = report.mean_rank_correlation.expect("multi-candidate cells");
+    assert!(rho > 0.5, "mean rank correlation {rho:.3}");
+}
+
+/// §5.2's direction of error under framework overheads (Figure 8's split /
+/// concat and imperfect-scaling effects): adding the measured framework's
+/// overheads can only slow the simulated runs, so the oracle's signed error
+/// becomes more negative (it under-projects measured time) relative to an
+/// ideal framework.
+#[test]
+fn section_5_2_overheads_bias_signed_error_downward() {
+    let constraints = Constraints { max_pes: 32, top_k: Some(3), ..Constraints::default() };
+    let grid = QueryGrid::new(constraints)
+        .with_model(paradl::models::resnet50(), TrainingConfig::imagenet(512))
+        .with_batches([512usize])
+        .with_cluster(ClusterSpec::paper_system());
+    // Deterministic overheads (probability-1 triggers, no symmetric noise):
+    // every replay's compute is stretched ×1.5 and every collective ×≥1.5,
+    // so the comparison is a theorem, not a draw of the stall/congestion
+    // coin flips (which the paper's probabilistic model would make
+    // seed-dependent at this replay count).
+    let always_slow = OverheadModel {
+        conv_split_inefficiency: 0.05,
+        split_concat_per_layer: 500e-6,
+        memory_stall_probability: 1.0,
+        memory_stall_factor: 1.5,
+        congestion_probability: 1.0,
+        congestion_max_factor: 3.0,
+        compute_noise: 0.0,
+    };
+    let ideal = Conformance::new()
+        .with_overheads(OverheadModel::ideal())
+        .with_samples(1)
+        .run(&grid)
+        .expect("winners");
+    let measured =
+        Conformance::new().with_overheads(always_slow).with_samples(1).run(&grid).expect("winners");
+    assert!(
+        measured.overall.mean_signed_error < ideal.overall.mean_signed_error,
+        "framework overheads should lower the signed error: {:.4} vs ideal {:.4}",
+        measured.overall.mean_signed_error,
+        ideal.overall.mean_signed_error
+    );
 }
