@@ -51,6 +51,21 @@ fn main() {
         );
     }
 
+    // The same configuration through the canonical Query API: what the
+    // oracle would actually suggest for it, constraints applied.
+    let suggest = Query::default()
+        .with_constraints(Constraints { max_pes: 1024, ..Constraints::default() })
+        .with_mode(QueryMode::Suggest);
+    match oracle.answer(&suggest) {
+        QueryAnswer::Suggestion(Some(best)) => println!(
+            "\nsuggested (max_pes = 1024): {:<28} {:>10.2} s/epoch",
+            best.cost.strategy.to_string(),
+            best.cost.epoch_time()
+        ),
+        QueryAnswer::Suggestion(None) => println!("\nsuggested: no feasible strategy"),
+        _ => unreachable!("a Suggest query answers with a suggestion"),
+    }
+
     // Best strategy per Table-5 model × global batch on the paper system,
     // answered as one batched QueryGrid: engines, cluster tables and
     // candidate enumerations are amortized across all cells by the

@@ -84,7 +84,8 @@ use crate::cost::{
 };
 use crate::model::Model;
 use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Precomputed scaling-limit table of one model (paper Table 3, last
 /// column): the quantities [`Strategy::validate`] re-derives by walking the
@@ -222,8 +223,17 @@ struct CollectiveTables {
 /// [`Arc`] so [`CostEngine::rebatched`] siblings (one per batch of a grid
 /// sweep) cost one pointer copy instead of re-tabulating — or re-cloning —
 /// any of this.
+///
+/// Opaque outside this module: the only things callers can do with a core
+/// are obtain one from a built engine ([`CostEngine::core_handle`]), stash
+/// it (e.g. in an [`EngineCache`]), and hydrate a new engine from it with
+/// [`CostEngine::from_core`]. A core is valid for exactly the
+/// (model, device, cluster, `bytes_per_item`, `memory_reuse`) tuple it was
+/// built from — `batch_size`, `dataset_size` and `epochs` are *not* baked
+/// in (they are read from the engine's owned config at query time), which
+/// is what [`engine_fingerprint`] encodes.
 #[derive(Debug)]
-struct EngineCore {
+pub struct EngineCore {
     /// Scaling limits (model-only).
     limits: ModelLimits,
     /// Per-layer `FW`/`BW`/`WU` tables (model × device only).
@@ -473,6 +483,52 @@ impl<'a> CostEngine<'a> {
         let mut sibling = self.clone();
         sibling.rebatch(batch);
         sibling
+    }
+
+    /// A shared handle to this engine's batch-invariant core, suitable for
+    /// stashing in an [`EngineCache`] and later hydrating a fresh engine
+    /// with [`CostEngine::from_core`] — skipping the whole `O(layers²)`
+    /// precomputation pass.
+    pub fn core_handle(&self) -> Arc<EngineCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Hydrates an engine from a previously built core, skipping the
+    /// precomputation pass entirely (no device queries — the device model
+    /// is already baked into the core's tables). The batch-dependent tables
+    /// are filled through the same [`CostEngine::rebatch`] path
+    /// [`CostEngine::with_cache`] uses, so the result is **byte-for-byte
+    /// identical** to a fresh build at `config`.
+    ///
+    /// Contract: `core` must have been built for this `model`, this
+    /// `cluster`, the same device, and a config with the same
+    /// `bytes_per_item` and `memory_reuse` — i.e. the same
+    /// [`engine_fingerprint`]. `batch_size`, `dataset_size` and `epochs`
+    /// may differ freely (they are not baked into any core table).
+    pub fn from_core(
+        model: &'a Model,
+        cluster: &'a ClusterSpec,
+        config: TrainingConfig,
+        core: Arc<EngineCore>,
+    ) -> Self {
+        debug_assert_eq!(core.limits, ModelLimits::of(model), "core reused across models");
+        debug_assert_eq!(
+            core.gamma_delta.to_bits(),
+            (config.memory_reuse * config.bytes_per_item).to_bits(),
+            "core reused across γ·δ"
+        );
+        let g = core.pipeline.len();
+        let mut engine = CostEngine {
+            model,
+            cluster,
+            config,
+            core,
+            pipe_mem: vec![0.0; g],
+            iters: 0,
+            iters_f: 0.0,
+        };
+        engine.rebatch(config.batch_size);
+        engine
     }
 
     /// The model this engine was built for.
@@ -787,6 +843,174 @@ impl CollectiveTables {
     }
 }
 
+/// FNV-1a 64-bit over a byte stream — the workspace has no external hashing
+/// crates, and a stable, documented hash is preferable for fingerprints that
+/// cross the serve wire anyway.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of a cluster (device profile, shape and link
+/// parameters — everything a [`ClusterCache`]'s topology tables depend on).
+/// Two specs with equal `Debug` representations hash equally; `Debug` for
+/// the float fields prints shortest-round-trip decimals, so distinct bit
+/// patterns yield distinct strings.
+pub fn cluster_fingerprint(cluster: &ClusterSpec) -> u64 {
+    fnv1a(format!("{cluster:?}").into_bytes())
+}
+
+/// Stable fingerprint of the validity key of an [`EngineCore`]:
+/// (model, cluster incl. device profile, `bytes_per_item`, `memory_reuse`).
+/// Deliberately **excludes** `batch_size`, `dataset_size` and `epochs` —
+/// cores are batch-invariant (see [`EngineCore`]), so one cached core
+/// serves every batch/dataset variant of the same problem via
+/// [`CostEngine::from_core`].
+pub fn engine_fingerprint(model: &Model, cluster: &ClusterSpec, config: &TrainingConfig) -> u64 {
+    let mut bytes = format!("{model:?}|{cluster:?}|").into_bytes();
+    bytes.extend_from_slice(&config.bytes_per_item.to_bits().to_be_bytes());
+    bytes.extend_from_slice(&config.memory_reuse.to_bits().to_be_bytes());
+    fnv1a(bytes)
+}
+
+/// A tiny thread-safe LRU: a `Mutex`-guarded vec in recency order. Fine for
+/// the capacities the serve daemon uses (tens of entries); lookups are
+/// `O(len)` but each hit saves an `O(layers²)` engine build.
+struct Lru<V: Clone> {
+    entries: Mutex<Vec<(u64, V)>>,
+    cap: usize,
+}
+
+impl<V: Clone> Lru<V> {
+    fn new(cap: usize) -> Self {
+        Lru { entries: Mutex::new(Vec::new()), cap }
+    }
+
+    /// Looks up `key`, promoting a hit to most-recent; on miss inserts
+    /// `build()` and evicts the least-recent entry past capacity. Returns
+    /// `(value, was_hit)`. With `cap == 0` the cache is disabled: every call
+    /// builds fresh.
+    fn get_or_insert(&self, key: u64, build: impl FnOnce() -> V) -> (V, bool) {
+        if self.cap == 0 {
+            return (build(), false);
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            let entry = entries.remove(pos);
+            let value = entry.1.clone();
+            entries.insert(0, entry);
+            return (value, true);
+        }
+        // Build while holding the lock: concurrent requests for the same key
+        // then build once, and the daemon's batcher (the only heavy caller)
+        // is single-threaded anyway.
+        let value = build();
+        entries.insert(0, (key, value.clone()));
+        entries.truncate(self.cap);
+        (value, false)
+    }
+
+    /// Whether `key` is cached, without promoting it.
+    fn contains(&self, key: u64) -> bool {
+        self.cap != 0 && self.entries.lock().unwrap().iter().any(|(k, _)| *k == key)
+    }
+}
+
+/// Cumulative hit/miss counters of an [`EngineCache`] (cores and cluster
+/// caches pooled together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+}
+
+/// A thread-safe LRU of [`EngineCore`]s and [`ClusterCache`]s, keyed by the
+/// stable fingerprints above. This is the engine-reuse hook behind
+/// `Oracle::engine()`'s per-instance caching, `GridSweep::run_cached`, and
+/// the `paradl-serve` daemon's cross-request reuse: repeated queries against
+/// the same (model, device, cluster, γ·δ) problem skip the `O(layers²)`
+/// engine build and the topology-table derivation entirely, paying only the
+/// `O(layers²)`-float [`CostEngine::rebatch`].
+///
+/// Capacity `0` disables caching (every lookup builds fresh) — used as the
+/// serve daemon's no-reuse baseline.
+pub struct EngineCache {
+    cores: Lru<Arc<EngineCore>>,
+    clusters: Lru<Arc<ClusterCache>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for EngineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCache")
+            .field("cap", &self.cores.cap)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EngineCache {
+    /// A cache holding up to `cap` engine cores and `cap` cluster caches.
+    pub fn new(cap: usize) -> Self {
+        EngineCache {
+            cores: Lru::new(cap),
+            clusters: Lru::new(cap),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The core for `key` (an [`engine_fingerprint`]), building and caching
+    /// it with `build` on a miss.
+    pub fn core(&self, key: u64, build: impl FnOnce() -> Arc<EngineCore>) -> Arc<EngineCore> {
+        let (core, hit) = self.cores.get_or_insert(key, build);
+        self.count(hit);
+        core
+    }
+
+    /// The cluster cache for `key` (a [`cluster_fingerprint`]), building and
+    /// caching it with `build` on a miss.
+    pub fn cluster(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Arc<ClusterCache>,
+    ) -> Arc<ClusterCache> {
+        let (cache, hit) = self.clusters.get_or_insert(key, build);
+        self.count(hit);
+        cache
+    }
+
+    /// Whether a core for `key` is currently cached (a non-promoting peek —
+    /// the serve daemon uses this to report per-response `cache_hit` without
+    /// perturbing recency).
+    pub fn contains_core(&self, key: u64) -> bool {
+        self.cores.contains(key)
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1006,6 +1230,75 @@ mod tests {
                 "grouping diverges at p={p}"
             );
         }
+    }
+
+    #[test]
+    fn from_core_is_byte_identical_to_fresh_build() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let base = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64));
+        let core = base.core_handle();
+        // Different batch AND different dataset size: neither is baked into
+        // the core, so hydration must still match a fresh build exactly.
+        let cfg = TrainingConfig::small(8192, 96);
+        let hydrated = CostEngine::from_core(&m, &c, cfg, core);
+        let fresh = CostEngine::new(&m, &d, &c, cfg);
+        assert_eq!(hydrated.config(), fresh.config());
+        for s in strategies() {
+            assert_eq!(hydrated.estimate(s), fresh.estimate(s), "{s}");
+            assert_eq!(hydrated.memory_per_pe(s), fresh.memory_per_pe(s), "{s} memory");
+            assert_eq!(hydrated.lower_bound(s), fresh.lower_bound(s), "{s} bound");
+        }
+        assert!(Arc::ptr_eq(&base.core, &hydrated.core), "hydration must share the core");
+    }
+
+    #[test]
+    fn engine_fingerprint_ignores_batch_but_not_problem() {
+        let m = model();
+        let c = ClusterSpec::paper_system();
+        let cfg_a = TrainingConfig::small(4096, 64);
+        let mut cfg_b = cfg_a;
+        cfg_b.batch_size = 256;
+        cfg_b.dataset_size = 9999;
+        cfg_b.epochs = 3;
+        // Batch/dataset/epochs are not part of the core's validity key.
+        assert_eq!(engine_fingerprint(&m, &c, &cfg_a), engine_fingerprint(&m, &c, &cfg_b));
+        // δ and γ are.
+        let mut cfg_c = cfg_a;
+        cfg_c.memory_reuse = 0.5;
+        assert_ne!(engine_fingerprint(&m, &c, &cfg_a), engine_fingerprint(&m, &c, &cfg_c));
+        // So are the model and the cluster.
+        let c2 = ClusterSpec::workstation(8);
+        assert_ne!(engine_fingerprint(&m, &c, &cfg_a), engine_fingerprint(&m, &c2, &cfg_a));
+        assert_ne!(cluster_fingerprint(&c), cluster_fingerprint(&c2));
+        assert_eq!(cluster_fingerprint(&c), cluster_fingerprint(&ClusterSpec::paper_system()));
+    }
+
+    #[test]
+    fn engine_cache_hits_reuse_and_evict_lru() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(4096, 64);
+        let key = engine_fingerprint(&m, &c, &cfg);
+        let cache = EngineCache::new(2);
+        let build = || CostEngine::new(&m, &d, &c, cfg).core_handle();
+        let first = cache.core(key, build);
+        assert!(cache.contains_core(key));
+        let second = cache.core(key, || panic!("must not rebuild on a hit"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats(), EngineCacheStats { hits: 1, misses: 1 });
+        // Fill past capacity: the least-recently-used key falls out.
+        cache.core(key ^ 1, build);
+        cache.core(key ^ 2, build);
+        assert!(!cache.contains_core(key), "LRU entry should have been evicted");
+        assert!(cache.contains_core(key ^ 2));
+        // Capacity 0 disables caching entirely.
+        let off = EngineCache::new(0);
+        off.core(key, build);
+        assert!(!off.contains_core(key));
+        assert_eq!(off.stats(), EngineCacheStats { hits: 0, misses: 1 });
     }
 
     #[test]

@@ -57,7 +57,9 @@
 
 use crate::cluster::{ClusterCache, ClusterSpec};
 use crate::config::TrainingConfig;
-use crate::engine::{CostEngine, ModelLimits};
+use crate::engine::{
+    cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache, ModelLimits,
+};
 use crate::model::Model;
 use crate::oracle::{Constraints, Oracle, Projection};
 use crate::search::{
@@ -434,6 +436,21 @@ impl GridSweep {
     /// [`Oracle::search`] would return for that cell (modulo the
     /// non-deterministic `pruned_by_bound` counter).
     pub fn run(&self, grid: &QueryGrid) -> GridReport {
+        self.run_with(grid, None)
+    }
+
+    /// Like [`GridSweep::run`], but sourcing engine cores and cluster caches
+    /// from (and contributing them back to) an [`EngineCache`], so *repeated*
+    /// sweeps over the same (model, device, cluster, γ·δ) problems skip the
+    /// engine builds entirely — the cross-request amortization behind the
+    /// `paradl-serve` daemon. Exactly the same results as [`GridSweep::run`]:
+    /// a hydrated engine is byte-for-byte identical to a fresh build
+    /// ([`CostEngine::from_core`]).
+    pub fn run_cached(&self, grid: &QueryGrid, cache: &EngineCache) -> GridReport {
+        self.run_with(grid, Some(cache))
+    }
+
+    fn run_with(&self, grid: &QueryGrid, ecache: Option<&EngineCache>) -> GridReport {
         let queries = grid.queries();
         if queries.is_empty() {
             return GridReport { cells: Vec::new() };
@@ -449,9 +466,17 @@ impl GridSweep {
         let max_batch = *grid.batches.iter().max().expect("non-empty batch axis");
         let constraints = &grid.constraints;
 
-        // Shared per-cluster topology caches.
-        let caches: Vec<Arc<ClusterCache>> =
-            grid.clusters.iter().map(|c| Arc::new(ClusterCache::new(c))).collect();
+        // Shared per-cluster topology caches, sourced from the engine cache
+        // when one is supplied (the cache stores models, not times, so the
+        // derived engines are identical either way).
+        let caches: Vec<Arc<ClusterCache>> = grid
+            .clusters
+            .iter()
+            .map(|c| match ecache {
+                Some(ec) => ec.cluster(cluster_fingerprint(c), || Arc::new(ClusterCache::new(c))),
+                None => Arc::new(ClusterCache::new(c)),
+            })
+            .collect();
 
         stage("caches");
         // Per-model scaling limits (cheap, needed by both stages below).
@@ -475,13 +500,30 @@ impl GridSweep {
                 let (m, c) = (i / n_clusters, i % n_clusters);
                 let gm = &grid.models[m];
                 let cluster = &grid.clusters[c];
-                CostEngine::with_cache(
-                    &gm.model,
-                    &cluster.device,
-                    cluster,
-                    gm.config_at(max_batch),
-                    &caches[c],
-                )
+                let config = gm.config_at(max_batch);
+                match ecache {
+                    Some(ec) => {
+                        let core =
+                            ec.core(engine_fingerprint(&gm.model, cluster, &gm.base), || {
+                                CostEngine::with_cache(
+                                    &gm.model,
+                                    &cluster.device,
+                                    cluster,
+                                    config,
+                                    &caches[c],
+                                )
+                                .core_handle()
+                            });
+                        CostEngine::from_core(&gm.model, cluster, config, core)
+                    }
+                    None => CostEngine::with_cache(
+                        &gm.model,
+                        &cluster.device,
+                        cluster,
+                        config,
+                        &caches[c],
+                    ),
+                }
             })
             .collect();
 
@@ -714,6 +756,30 @@ mod tests {
         for (a, b) in fast.cells.iter().zip(&slow.cells) {
             assert_eq!(a.query, b.query);
             assert_reports_equal(&a.report, &b.report, &format!("{:?}", a.query));
+        }
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_and_hits_on_repeat() {
+        let grid = small_grid(Constraints { max_pes: 256, top_k: Some(5), ..Default::default() });
+        let sweep = GridSweep::new();
+        let cache = EngineCache::new(16);
+        let plain = sweep.run(&grid);
+        let cached = sweep.run_cached(&grid, &cache);
+        for (a, b) in plain.cells.iter().zip(&cached.cells) {
+            assert_eq!(a.query, b.query);
+            assert_reports_equal(&a.report, &b.report, &format!("cold {:?}", a.query));
+        }
+        let first = cache.stats();
+        assert!(first.misses > 0, "cold sweep must populate the cache");
+        // A second sweep over the same grid hits for every engine and
+        // cluster cache, and still produces identical reports.
+        let warm = sweep.run_cached(&grid, &cache);
+        let second = cache.stats();
+        assert_eq!(second.misses, first.misses, "warm sweep must not rebuild");
+        assert!(second.hits > first.hits, "warm sweep must hit");
+        for (a, b) in plain.cells.iter().zip(&warm.cells) {
+            assert_reports_equal(&a.report, &b.report, &format!("warm {:?}", a.query));
         }
     }
 

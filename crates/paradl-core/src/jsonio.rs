@@ -1,0 +1,668 @@
+//! Minimal self-contained JSON value type, parser and renderer.
+//!
+//! The offline workspace has no `serde`, so everything that speaks JSON —
+//! the golden-fixture corpus in `tests/golden_search.rs`, the
+//! `BENCH_*.json` summaries, and the `paradl-serve` wire protocol — shares
+//! this one implementation instead of growing per-binary emitters.
+//!
+//! Design points:
+//!
+//! * **Deterministic bytes.** Objects are ordered `Vec`s (insertion order is
+//!   preserved, never re-sorted), so rendering the same value twice produces
+//!   byte-identical output — which is what lets the serve integration tests
+//!   compare served answers against locally computed ones *as bytes*.
+//! * **Shortest-round-trip floats.** Numbers render with Rust's `Display`
+//!   for `f64`, the shortest decimal that reparses to the same bits. Blessed
+//!   fixtures and wire frames therefore survive a parse→render cycle
+//!   bit-exactly; tolerances in tests only absorb arithmetic drift, not
+//!   serialization loss.
+//! * **Non-panicking parse.** [`Json::parse`] returns a [`JsonError`] with a
+//!   byte offset instead of panicking, so a daemon can reject a malformed
+//!   frame without dying. The panicking accessors ([`Json::req`],
+//!   [`Json::as_str`], …) are sugar for tests and fixtures where a schema
+//!   mismatch *should* abort loudly.
+
+use std::fmt;
+
+/// A parsed JSON value. Object fields keep their insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// An object: ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// A number (JSON numbers are parsed as `f64`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parse error: what went wrong and the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    // -- construction sugar -------------------------------------------------
+
+    /// An object from key/value pairs (insertion order is preserved).
+    pub fn obj(fields: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number from anything convertible to `f64` losslessly enough for the
+    /// caller (counts in this workspace stay far below 2^53).
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// A number from a `usize` count.
+    pub fn count(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    // -- non-panicking accessors -------------------------------------------
+
+    /// Field `key` of an object (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn string(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn number(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn fields(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The number as a non-negative integer count (`None` when missing,
+    /// non-numeric, negative, or not an integer).
+    pub fn usize(&self) -> Option<usize> {
+        let n = self.number()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= usize::MAX as f64 {
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+
+    // -- panicking accessors (tests / fixtures) -----------------------------
+
+    /// Field `key` of an object; panics with a readable message when the key
+    /// is missing or `self` is not an object. Test/fixture sugar.
+    pub fn req(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(_) => {
+                self.get(key).unwrap_or_else(|| panic!("missing key {key:?} in {self:?}"))
+            }
+            other => panic!("expected object with key {key:?}, got {other:?}"),
+        }
+    }
+
+    /// The string payload; panics on type mismatch. Test/fixture sugar.
+    pub fn as_str(&self) -> &str {
+        self.string().unwrap_or_else(|| panic!("expected string, got {self:?}"))
+    }
+
+    /// The numeric payload; panics on type mismatch. Test/fixture sugar.
+    pub fn as_num(&self) -> f64 {
+        self.number().unwrap_or_else(|| panic!("expected number, got {self:?}"))
+    }
+
+    /// The elements; panics on type mismatch. Test/fixture sugar.
+    pub fn as_arr(&self) -> &[Json] {
+        self.array().unwrap_or_else(|| panic!("expected array, got {self:?}"))
+    }
+
+    // -- parse / render -----------------------------------------------------
+
+    /// Parses a JSON document. Never panics: malformed input (including
+    /// truncated documents, bad escapes and trailing garbage) yields a
+    /// [`JsonError`] with the offending byte offset.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content"));
+        }
+        Ok(value)
+    }
+
+    /// Renders compactly (no whitespace), deterministically: object fields in
+    /// insertion order, floats in shortest-round-trip form. Non-finite
+    /// numbers (which JSON cannot express) render as `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Renders human-readably with 2-space indentation. Containers whose
+    /// children are all scalars stay on one line (`{"a": 1, "b": 2}`), which
+    /// is the layout the golden fixtures use for ranking entries; containers
+    /// with nested containers get one field per line.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn is_container(&self) -> bool {
+        matches!(self, Json::Obj(_) | Json::Arr(_))
+    }
+
+    /// Whether any direct child is itself a container (forces the multi-line
+    /// pretty layout).
+    fn has_container_child(&self) -> bool {
+        match self {
+            Json::Obj(fields) => fields.iter().any(|(_, v)| v.is_container()),
+            Json::Arr(items) => items.iter().any(Json::is_container),
+            _ => false,
+        }
+    }
+
+    fn write_scalar(&self, out: &mut String) {
+        match self {
+            Json::Str(s) => write_escaped(out, s),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.push_str("null"),
+            Json::Obj(_) | Json::Arr(_) => unreachable!("containers handled by callers"),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            scalar => scalar.write_scalar(out),
+        }
+    }
+
+    /// One-line layout with spaces (`{"a": 1, "b": 2}` / `[1, 2]`), used for
+    /// leaf containers in the pretty renderer.
+    fn write_inline(&self, out: &mut String) {
+        match self {
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_inline(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.write_inline(out);
+                }
+                out.push(']');
+            }
+            scalar => scalar.write_scalar(out),
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        if !self.has_container_child() {
+            self.write_inline(out);
+            return;
+        }
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            _ => unreachable!("scalars have no container children"),
+        }
+    }
+}
+
+/// Writes `s` as a quoted JSON string, escaping quotes, backslashes and
+/// control characters.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into(), at: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    /// Consumes a literal keyword (`true`/`false`/`null`).
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.keyword("true", Json::Bool(true)),
+            b'f' => self.keyword("false", Json::Bool(false)),
+            b'n' => self.keyword("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(self.err(format!("expected ',' or '}}', got {:?}", other as char)))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(self.err(format!("expected ',' or ']', got {:?}", other as char)))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.err(format!("bad escape \\{}", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // byte stream is valid UTF-8; continuation bytes follow).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    /// A `\uXXXX` escape, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            return Err(self.err("lone surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("bad \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let Some(text) = self.bytes.get(self.pos..end) else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let text = std::str::from_utf8(text).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        match text.parse() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => Err(JsonError { message: format!("bad number {text:?}"), at: start }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_all_value_kinds() {
+        let text = r#"{"s": "hi", "n": 1.5, "i": 42, "b": true, "no": false, "z": null, "a": [1, 2], "o": {"k": "v"}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.req("s").as_str(), "hi");
+        assert_eq!(v.req("n").as_num(), 1.5);
+        assert_eq!(v.req("i").usize(), Some(42));
+        assert_eq!(v.req("b").boolean(), Some(true));
+        assert_eq!(v.req("no").boolean(), Some(false));
+        assert!(v.req("z").is_null());
+        assert_eq!(v.req("a").as_arr().len(), 2);
+        assert_eq!(v.req("o").req("k").as_str(), "v");
+        // Compact render round-trips to the same value.
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        // Pretty render too.
+        assert_eq!(Json::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for x in [0.0, 1.0, -1.5, 1.0 / 3.0, 6.02e23, 1e-300, f64::MAX, 5e-324] {
+            let rendered = Json::Num(x).render();
+            let back = Json::parse(&rendered).unwrap().as_num();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} rendered as {rendered}");
+        }
+        // Non-finite values cannot be expressed in JSON: they render as null.
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in
+            ["plain", "with \"quotes\"", "back\\slash", "tab\tnl\n", "unicode é λ 💡", "ctrl\u{1}"]
+        {
+            let rendered = Json::str(s).render();
+            assert_eq!(Json::parse(&rendered).unwrap().as_str(), s, "via {rendered}");
+        }
+        // Standard escapes parse.
+        assert_eq!(Json::parse(r#""\u0041\u00e9\ud83d\udca1\/""#).unwrap().as_str(), "Aé💡/");
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "nul",
+            "truely",
+            "1.2.3",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "--5",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn object_field_order_is_preserved() {
+        let v = Json::obj([("z", Json::count(1)), ("a", Json::count(2))]);
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+        let parsed = Json::parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        assert_eq!(parsed, v);
+        // Deterministic: two renders of the same value are byte-identical.
+        assert_eq!(parsed.render(), parsed.render());
+    }
+
+    #[test]
+    fn pretty_layout_inlines_leaf_containers() {
+        let v = Json::obj([
+            ("model", Json::str("m")),
+            (
+                "cells",
+                Json::Arr(vec![Json::obj([
+                    ("batch", Json::count(256)),
+                    (
+                        "top",
+                        Json::Arr(vec![Json::obj([
+                            ("strategy", Json::str("data(p=64)")),
+                            ("pes", Json::count(64)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ]);
+        let expected = "{\n  \"model\": \"m\",\n  \"cells\": [\n    {\n      \"batch\": 256,\n      \"top\": [\n        {\"strategy\": \"data(p=64)\", \"pes\": 64}\n      ]\n    }\n  ]\n}";
+        assert_eq!(v.render_pretty(), expected);
+    }
+
+    #[test]
+    fn non_object_accessors_return_none() {
+        let v = Json::parse("[1]").unwrap();
+        assert!(v.get("x").is_none());
+        assert!(v.string().is_none());
+        assert!(v.number().is_none());
+        assert!(v.fields().is_none());
+        assert_eq!(Json::Num(-1.0).usize(), None);
+        assert_eq!(Json::Num(1.5).usize(), None);
+        assert_eq!(Json::Num(7.0).usize(), Some(7));
+    }
+}

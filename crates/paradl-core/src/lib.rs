@@ -51,11 +51,13 @@ pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod grid;
+pub mod jsonio;
 pub mod layer;
 pub mod limits;
 pub mod memory;
 pub mod model;
 pub mod oracle;
+pub mod query;
 pub mod scaling;
 pub mod search;
 pub mod strategy;
@@ -68,8 +70,12 @@ pub mod prelude {
     pub use crate::compute::{ComputeModel, DeviceProfile, LayerTimes, TabulatedProfile};
     pub use crate::config::TrainingConfig;
     pub use crate::cost::{estimate, estimate_with_memory, CostEstimate, PhaseBreakdown};
-    pub use crate::engine::{CostEngine, ModelLimits};
+    pub use crate::engine::{
+        cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache, EngineCacheStats,
+        ModelLimits,
+    };
     pub use crate::grid::{GridCell, GridModel, GridQuery, GridReport, GridSweep, QueryGrid};
+    pub use crate::jsonio::{Json, JsonError};
     pub use crate::layer::{Layer, LayerKind};
     pub use crate::limits::{diagnose_default, table6, Issue, IssueClass};
     pub use crate::memory::{fits_in_memory, memory_per_pe, V100_MEMORY_BYTES};
@@ -77,6 +83,7 @@ pub mod prelude {
     pub use crate::oracle::{
         breakdown_accuracy, projection_accuracy, Constraints, Oracle, PeSweep, Projection,
     };
+    pub use crate::query::{Query, QueryAnswer, QueryMode};
     pub use crate::scaling::{powers_of_two, speedup_over, sweep, ScalingMode, SweepPoint};
     pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};
     pub use crate::strategy::{SpatialSplit, Strategy, StrategyKind};

@@ -10,10 +10,12 @@ use crate::cluster::ClusterSpec;
 use crate::compute::ComputeModel;
 use crate::config::TrainingConfig;
 use crate::cost::{estimate, CostEstimate, PhaseBreakdown};
-use crate::engine::CostEngine;
+use crate::engine::{CostEngine, EngineCore};
 use crate::memory;
 use crate::model::Model;
+use crate::query::{Query, QueryAnswer, QueryMode};
 use crate::strategy::{SpatialSplit, Strategy, StrategyKind};
+use std::sync::{Arc, OnceLock};
 
 pub use crate::search::{BudgetWinner, RankedCandidate, SearchReport, StrategySpace};
 
@@ -71,6 +73,10 @@ pub struct Oracle<'a, C: ComputeModel + ?Sized> {
     pub cluster: &'a ClusterSpec,
     /// Training configuration (D, B, δ, γ).
     pub config: TrainingConfig,
+    /// Lazily built batch-invariant engine core, so repeated
+    /// [`Oracle::engine`] calls on one oracle pay the `O(layers²)`
+    /// tabulation once and hydrate afterwards.
+    core_cache: OnceLock<Arc<EngineCore>>,
 }
 
 /// A projection for one concrete strategy, with feasibility information.
@@ -100,16 +106,21 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
         cluster: &'a ClusterSpec,
         config: TrainingConfig,
     ) -> Self {
-        Oracle { model, device, cluster, config }
+        Oracle { model, device, cluster, config, core_cache: OnceLock::new() }
     }
 
-    /// Builds the precomputed [`CostEngine`] for this oracle's problem: one
-    /// `O(layers²)` pass, after which every estimate/memory/lower-bound query
-    /// is `O(1)`. The search, [`Oracle::survey`] and [`Oracle::suggest`] all
-    /// go through it; build one yourself when projecting many strategies
-    /// under the *same* configuration.
+    /// The precomputed [`CostEngine`] for this oracle's problem. The first
+    /// call pays the `O(layers²)` tabulation pass; the batch-invariant core
+    /// is then cached on the oracle, so every later call merely hydrates a
+    /// new engine from it ([`CostEngine::from_core`] — byte-for-byte
+    /// identical to a fresh build, at `O(layers²)` float cost instead of
+    /// the full device/topology pass). The search, [`Oracle::survey`] and
+    /// [`Oracle::suggest`] all go through it.
     pub fn engine(&self) -> CostEngine<'a> {
-        CostEngine::new(self.model, self.device, self.cluster, self.config)
+        let core = self.core_cache.get_or_init(|| {
+            CostEngine::new(self.model, self.device, self.cluster, self.config).core_handle()
+        });
+        CostEngine::from_core(self.model, self.cluster, self.config, Arc::clone(core))
     }
 
     /// Projects the cost of a single strategy (reference slow path; for
@@ -185,16 +196,32 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
 
     /// Projects every evaluated strategy family at `p` PEs and returns the
     /// projections (infeasible strategies are included and flagged).
-    /// Builds a fresh [`CostEngine`] per call; when the caller already holds
-    /// one, use [`Oracle::survey_with_engine`].
+    /// Equivalent to answering a [`QueryMode::Survey`] query; the cached
+    /// engine core makes repeated calls cheap.
     pub fn survey(&self, p: usize, constraints: &Constraints) -> Vec<Projection> {
-        self.survey_with_engine(&self.engine(), p, constraints)
+        self.survey_impl(&self.engine(), p, constraints)
     }
 
     /// Like [`Oracle::survey`], but evaluates through a [`CostEngine`] the
     /// caller already built (possibly [`CostEngine::rebatch`]ed), so a
     /// multi-query sweep pays the engine tabulation once.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Oracle::answer_with_engine with a QueryMode::Survey query"
+    )]
     pub fn survey_with_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        p: usize,
+        constraints: &Constraints,
+    ) -> Vec<Projection> {
+        self.survey_impl(engine, p, constraints)
+    }
+
+    /// Survey evaluation through an explicit engine — the shared body of
+    /// [`Oracle::survey`], the deprecated `survey_with_engine`, and the
+    /// [`QueryMode::Survey`] arm of [`Oracle::answer_with_engine`].
+    pub(crate) fn survey_impl(
         &self,
         engine: &CostEngine<'_>,
         p: usize,
@@ -211,18 +238,33 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
 
     /// Suggests the best feasible strategy within the constraints: the one
     /// with the smallest projected epoch time among those that fit memory and
-    /// scaling limits (paper §4.1, first bullet). Builds a fresh
-    /// [`CostEngine`] per call; when the caller already holds one, use
-    /// [`Oracle::suggest_with_engine`].
+    /// scaling limits (paper §4.1, first bullet). Equivalent to answering a
+    /// [`QueryMode::Suggest`] query; the cached engine core makes repeated
+    /// calls cheap.
     pub fn suggest(&self, constraints: &Constraints) -> Option<Projection> {
-        self.suggest_with_engine(&self.engine(), constraints)
+        self.suggest_impl(&self.engine(), constraints)
     }
 
     /// Like [`Oracle::suggest`], but evaluates through a [`CostEngine`] the
     /// caller already built (possibly [`CostEngine::rebatch`]ed — the sweep
     /// limits come from the *engine's* current batch), consistently with the
     /// exhaustive search.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Oracle::answer_with_engine with a QueryMode::Suggest query"
+    )]
     pub fn suggest_with_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        constraints: &Constraints,
+    ) -> Option<Projection> {
+        self.suggest_impl(engine, constraints)
+    }
+
+    /// Suggest evaluation through an explicit engine — the shared body of
+    /// [`Oracle::suggest`], the deprecated `suggest_with_engine`, and the
+    /// [`QueryMode::Suggest`] arm of [`Oracle::answer_with_engine`].
+    pub(crate) fn suggest_impl(
         &self,
         engine: &CostEngine<'_>,
         constraints: &Constraints,
@@ -252,6 +294,38 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
             }
         }
         best
+    }
+}
+
+impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
+    /// Answers a [`Query`] — the canonical entry point uniting the oracle's
+    /// historical `suggest`/`search`/`survey` roles behind one request
+    /// type. Only the query's `constraints` and `mode` are consulted: the
+    /// oracle *is* the workload (a query's own model/config/cluster fields
+    /// are for the standalone [`Query::run`] and the wire protocol).
+    ///
+    /// The ranked modes run the exhaustive parallel search (hence the
+    /// `Sync` bound); see [`Query::effective_constraints`] for how the mode
+    /// picks the ranking depth.
+    pub fn answer(&self, query: &Query) -> QueryAnswer {
+        self.answer_with_engine(&self.engine(), query)
+    }
+
+    /// Like [`Oracle::answer`], but evaluates through a [`CostEngine`] the
+    /// caller already built (possibly [`CostEngine::rebatch`]ed or hydrated
+    /// from a cached core) — the engine-reuse hook the `paradl-serve`
+    /// daemon uses for its non-coalescable modes.
+    pub fn answer_with_engine(&self, engine: &CostEngine<'_>, query: &Query) -> QueryAnswer {
+        let constraints = query.effective_constraints();
+        match query.mode {
+            QueryMode::Suggest => QueryAnswer::Suggestion(self.suggest_impl(engine, &constraints)),
+            QueryMode::Survey { pes } => {
+                QueryAnswer::Survey(self.survey_impl(engine, pes, &constraints))
+            }
+            QueryMode::TopK(_) | QueryMode::FullRank => {
+                QueryAnswer::Ranked(self.search_impl(engine, &constraints))
+            }
+        }
     }
 }
 
@@ -346,6 +420,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated wrappers must stay equivalence-tested
     fn with_engine_variants_match_fresh_builds() {
         let m = model();
         let d = DeviceProfile::v100();

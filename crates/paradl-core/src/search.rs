@@ -292,7 +292,7 @@ pub struct BudgetWinner {
 }
 
 /// The result of an exhaustive strategy search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchReport {
     /// Number of candidates the [`StrategySpace`] enumerated.
     pub enumerated: usize,
@@ -663,17 +663,40 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
     /// the `k` best are kept (bounded heap). Deterministic: returns exactly
     /// what [`Oracle::search_serial`] returns.
     ///
-    /// Builds a fresh engine per call; when the caller already holds one —
-    /// e.g. across the batch sweep of a [`crate::grid::QueryGrid`] — use
-    /// [`Oracle::search_with_engine`].
+    /// Delegates to [`Oracle::answer`] with a ranked-mode
+    /// [`crate::query::Query`] (the canonical entry point); the oracle's
+    /// cached engine core makes repeated calls cheap.
     pub fn search(&self, constraints: &Constraints) -> SearchReport {
-        self.search_with_engine(&self.engine(), constraints)
+        let query = crate::query::Query {
+            mode: match constraints.top_k {
+                Some(k) => crate::query::QueryMode::TopK(k),
+                None => crate::query::QueryMode::FullRank,
+            },
+            constraints: *constraints,
+            ..crate::query::Query::default()
+        };
+        match self.answer(&query) {
+            crate::query::QueryAnswer::Ranked(report) => report,
+            _ => unreachable!("ranked query modes always produce ranked answers"),
+        }
     }
 
     /// Like [`Oracle::search`], but evaluates through a [`CostEngine`] the
     /// caller already built (possibly [`CostEngine::rebatch`]ed — the
     /// candidate space is enumerated at the *engine's* current batch).
+    #[deprecated(since = "0.6.0", note = "use Oracle::answer_with_engine with a ranked-mode Query")]
     pub fn search_with_engine(
+        &self,
+        engine: &CostEngine<'_>,
+        constraints: &Constraints,
+    ) -> SearchReport {
+        self.search_impl(engine, constraints)
+    }
+
+    /// Search evaluation through an explicit engine — the shared body of
+    /// [`Oracle::search`], the deprecated `search_with_engine`, and the
+    /// ranked arms of `Oracle::answer_with_engine`.
+    pub(crate) fn search_impl(
         &self,
         engine: &CostEngine<'_>,
         constraints: &Constraints,

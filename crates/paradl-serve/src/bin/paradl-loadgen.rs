@@ -1,0 +1,373 @@
+//! Closed-loop load generator for `paradl-serve`.
+//!
+//! Spawns a coalescing daemon and a no-coalescing baseline daemon on temp
+//! unix sockets (or targets an external daemon via `--connect`), drives
+//! them with concurrent ranked queries at several concurrency levels, and
+//! writes sustained qps plus p50/p99 latency per level to
+//! `BENCH_serve.json`.
+//!
+//! With `PARADL_ASSERT_SPEEDUP` set, the run fails unless coalescing
+//! reaches the required qps multiple over the baseline at concurrency ≥ 8
+//! (floor 2.0, or the env var's numeric value).
+
+use paradl_core::cluster::ClusterSpec;
+use paradl_core::config::TrainingConfig;
+use paradl_core::jsonio::Json;
+use paradl_core::oracle::{Constraints, PeSweep};
+use paradl_core::query::Query;
+use paradl_serve::client::{parse_target, Connection};
+use paradl_serve::proto::Response;
+use paradl_serve::server::{Bind, Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATCHES: [usize; 2] = [256, 1024];
+const TOP_K: usize = 10;
+const MAX_PES: usize = 1024;
+
+const USAGE: &str = "\
+paradl-loadgen: benchmark a paradl-serve daemon
+
+USAGE:
+    paradl-loadgen [OPTIONS]
+
+OPTIONS:
+    --quick           short run (levels 2 and 8, ~0.6s each)
+    --out PATH        output file (default BENCH_serve.json)
+    --connect TARGET  benchmark an external daemon instead of spawning the
+                      in-process coalesced/baseline pair (no speedup column)
+    --duration-ms N   measurement window per level (default 1500, quick 600)
+    --help            print this help
+
+Set PARADL_ASSERT_SPEEDUP=1 (or a numeric floor) to fail the run unless
+coalescing beats the baseline by that qps factor at concurrency >= 8.";
+
+struct Args {
+    quick: bool,
+    out: String,
+    connect: Option<String>,
+    duration_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        quick: false,
+        out: "BENCH_serve.json".to_string(),
+        connect: None,
+        duration_ms: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--out" => parsed.out = args.next().ok_or("--out needs a value")?,
+            "--connect" => parsed.connect = Some(args.next().ok_or("--connect needs a value")?),
+            "--duration-ms" => {
+                parsed.duration_ms = Some(
+                    args.next()
+                        .ok_or("--duration-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--duration-ms needs an integer".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn workload_query(batch: usize) -> Query {
+    // Exhaustive PE sweep: evaluation dominates the request round trip, as
+    // it does for any serving workload worth putting a daemon in front of.
+    Query::top_k(TOP_K)
+        .with_model(paradl_models::resnet50())
+        .with_config(TrainingConfig::imagenet(batch))
+        .with_cluster(ClusterSpec::paper_system())
+        .with_constraints(Constraints {
+            max_pes: MAX_PES,
+            sweep: PeSweep::Exhaustive,
+            ..Constraints::default()
+        })
+}
+
+/// Per-run aggregation of the `AnswerStats` the server attaches to every
+/// answer — the observability that tells us whether coalescing engaged.
+#[derive(Default)]
+struct StatsAgg {
+    answers: u64,
+    coalesced_sum: u64,
+    cells_sum: u64,
+    eval_us_sum: u64,
+    queue_us_sum: u64,
+    cache_hits: u64,
+}
+
+impl StatsAgg {
+    fn absorb(&mut self, stats: &paradl_serve::proto::AnswerStats) {
+        self.answers += 1;
+        self.coalesced_sum += stats.coalesced as u64;
+        self.cells_sum += stats.batch_cells as u64;
+        self.eval_us_sum += stats.eval_us;
+        self.queue_us_sum += stats.queue_us;
+        self.cache_hits += u64::from(stats.cache_hit);
+    }
+
+    fn merge(&mut self, other: StatsAgg) {
+        self.answers += other.answers;
+        self.coalesced_sum += other.coalesced_sum;
+        self.cells_sum += other.cells_sum;
+        self.eval_us_sum += other.eval_us_sum;
+        self.queue_us_sum += other.queue_us_sum;
+        self.cache_hits += other.cache_hits;
+    }
+
+    fn mean(&self, sum: u64) -> f64 {
+        if self.answers == 0 {
+            return f64::NAN;
+        }
+        sum as f64 / self.answers as f64
+    }
+}
+
+/// One measurement: `concurrency` closed-loop workers hammer `target` for
+/// `window`, cycling through the batch sizes. Returns latencies in µs plus
+/// the aggregated server-side stats.
+fn drive(
+    target: &Bind,
+    concurrency: usize,
+    window: Duration,
+) -> Result<(Vec<u64>, StatsAgg), String> {
+    let target = Arc::new(target.clone());
+    let stop_at = Instant::now() + window;
+    let workers: Vec<_> = (0..concurrency)
+        .map(|worker| {
+            let target = Arc::clone(&target);
+            std::thread::spawn(move || -> Result<(Vec<u64>, StatsAgg), String> {
+                let mut connection =
+                    Connection::connect(&target).map_err(|e| format!("connect: {e}"))?;
+                let mut latencies = Vec::new();
+                let mut agg = StatsAgg::default();
+                let mut iteration = worker; // stagger the batch cycle per worker
+                while Instant::now() < stop_at {
+                    let query = workload_query(BATCHES[iteration % BATCHES.len()]);
+                    iteration += 1;
+                    let start = Instant::now();
+                    match connection.query(&query, None).map_err(|e| format!("query: {e}"))? {
+                        Response::Answer { stats, .. } => {
+                            latencies.push(start.elapsed().as_micros() as u64);
+                            agg.absorb(&stats);
+                        }
+                        Response::Shed => {
+                            // Backpressure: brief pause, then retry.
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        other => return Err(format!("unexpected response {other:?}")),
+                    }
+                }
+                Ok((latencies, agg))
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    let mut agg = StatsAgg::default();
+    for handle in workers {
+        let (latencies, worker_agg) =
+            handle.join().map_err(|_| "worker panicked".to_string())??;
+        all.extend(latencies);
+        agg.merge(worker_agg);
+    }
+    Ok((all, agg))
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+struct Measurement {
+    requests: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_coalesced: f64,
+    mean_eval_us: f64,
+    cache_hit_rate: f64,
+}
+
+fn measure(target: &Bind, concurrency: usize, window: Duration) -> Result<Measurement, String> {
+    let start = Instant::now();
+    let (mut latencies, agg) = drive(target, concurrency, window)?;
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    Ok(Measurement {
+        requests: latencies.len(),
+        qps: latencies.len() as f64 / elapsed,
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        mean_coalesced: agg.mean(agg.coalesced_sum),
+        mean_eval_us: agg.mean(agg.eval_us_sum),
+        cache_hit_rate: agg.mean(agg.cache_hits),
+    })
+}
+
+fn measurement_json(m: &Measurement) -> Json {
+    Json::obj([
+        ("requests", Json::count(m.requests)),
+        ("qps", Json::Num(m.qps)),
+        ("p50_ms", Json::Num(m.p50_ms)),
+        ("p99_ms", Json::Num(m.p99_ms)),
+        ("mean_coalesced", Json::Num(m.mean_coalesced)),
+        ("mean_eval_us", Json::Num(m.mean_eval_us)),
+        ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
+    ])
+}
+
+/// Warm a server's cache so measurements compare steady states, not the
+/// first engine build.
+fn warm(target: &Bind) -> Result<(), String> {
+    let mut connection = Connection::connect(target).map_err(|e| format!("connect: {e}"))?;
+    for batch in BATCHES {
+        match connection.query(&workload_query(batch), None).map_err(|e| format!("warmup: {e}"))? {
+            Response::Answer { .. } => {}
+            other => return Err(format!("warmup got {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn temp_socket(tag: &str) -> Bind {
+    Bind::Unix(
+        std::env::temp_dir().join(format!("paradl-loadgen-{}-{tag}.sock", std::process::id())),
+    )
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let levels: &[usize] = if args.quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+    let window =
+        Duration::from_millis(args.duration_ms.unwrap_or(if args.quick { 600 } else { 1500 }));
+
+    // Either an external target, or the in-process coalesced/baseline pair.
+    let mut servers: Vec<Server> = Vec::new();
+    let (coalesced_target, baseline_target) = match &args.connect {
+        Some(text) => (parse_target(text)?, None),
+        None => {
+            let coalesced_bind = temp_socket("coalesced");
+            let baseline_bind = temp_socket("baseline");
+            servers.push(
+                Server::start(coalesced_bind.clone(), ServerConfig::default())
+                    .map_err(|e| format!("start coalesced server: {e}"))?,
+            );
+            servers.push(
+                Server::start(
+                    baseline_bind.clone(),
+                    ServerConfig { coalesce: false, cache_entries: 0, ..ServerConfig::default() },
+                )
+                .map_err(|e| format!("start baseline server: {e}"))?,
+            );
+            (coalesced_bind, Some(baseline_bind))
+        }
+    };
+
+    warm(&coalesced_target)?;
+    if let Some(baseline) = &baseline_target {
+        warm(baseline)?;
+    }
+
+    let mut level_rows = Vec::new();
+    let mut speedup_at_8plus: f64 = 0.0;
+    println!(
+        "{:>11}  {:>21}  {:>21}  {:>7}",
+        "concurrency", "coalesced qps/p50/p99", "baseline qps/p50/p99", "speedup"
+    );
+    for &concurrency in levels {
+        let coalesced = measure(&coalesced_target, concurrency, window)?;
+        let mut fields = vec![
+            ("concurrency".to_string(), Json::count(concurrency)),
+            ("coalesced".to_string(), measurement_json(&coalesced)),
+        ];
+        match &baseline_target {
+            Some(target) => {
+                let baseline = measure(target, concurrency, window)?;
+                let speedup = coalesced.qps / baseline.qps;
+                if concurrency >= 8 {
+                    speedup_at_8plus = speedup_at_8plus.max(speedup);
+                }
+                println!(
+                    "{concurrency:>11}  {:>8.1} {:>5.1} {:>6.1}  {:>8.1} {:>5.1} {:>6.1}  {speedup:>6.2}x  [group {:.1}, eval {:.0}µs vs {:.0}µs, hit {:.0}%]",
+                    coalesced.qps, coalesced.p50_ms, coalesced.p99_ms,
+                    baseline.qps, baseline.p50_ms, baseline.p99_ms,
+                    coalesced.mean_coalesced, coalesced.mean_eval_us,
+                    baseline.mean_eval_us, coalesced.cache_hit_rate * 100.0,
+                );
+                fields.push(("baseline".to_string(), measurement_json(&baseline)));
+                fields.push(("speedup".to_string(), Json::Num(speedup)));
+            }
+            None => {
+                println!(
+                    "{concurrency:>11}  {:>8.1} {:>5.1} {:>6.1}  {:>21}  {:>7}",
+                    coalesced.qps, coalesced.p50_ms, coalesced.p99_ms, "-", "-",
+                );
+            }
+        }
+        level_rows.push(Json::Obj(fields));
+    }
+
+    for server in servers {
+        server.shutdown_and_join();
+    }
+
+    let report = Json::obj([
+        ("benchmark", Json::str("paradl-serve-loadgen")),
+        (
+            "workload",
+            Json::obj([
+                ("model", Json::str("ResNet-50")),
+                ("batches", Json::Arr(BATCHES.iter().map(|&b| Json::count(b)).collect())),
+                ("mode", Json::str("top_k")),
+                ("k", Json::count(TOP_K)),
+                ("max_pes", Json::count(MAX_PES)),
+                ("sweep", Json::str("exhaustive")),
+                ("cluster", Json::str("paper")),
+            ]),
+        ),
+        ("duration_ms_per_level", Json::count(window.as_millis() as usize)),
+        ("levels", Json::Arr(level_rows)),
+    ]);
+    let mut rendered = report.render_pretty();
+    rendered.push('\n');
+    std::fs::write(&args.out, rendered).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("wrote {}", args.out);
+
+    if let Ok(value) = std::env::var("PARADL_ASSERT_SPEEDUP") {
+        let floor = value.parse::<f64>().ok().filter(|f| *f > 1.0).unwrap_or(2.0);
+        if baseline_target.is_none() {
+            return Err("PARADL_ASSERT_SPEEDUP needs the in-process pair (omit --connect)".into());
+        }
+        if speedup_at_8plus < floor {
+            return Err(format!(
+                "coalescing speedup {speedup_at_8plus:.2}x at concurrency >= 8 is below the {floor:.1}x floor"
+            ));
+        }
+        println!("speedup floor satisfied: {speedup_at_8plus:.2}x >= {floor:.1}x");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The `paradl-serve` daemon binary: bind, serve, wait for shutdown.
+
+use paradl_serve::server::{Bind, Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+paradl-serve: serve the ParaDL oracle over a socket
+
+USAGE:
+    paradl-serve (--unix PATH | --tcp ADDR) [OPTIONS]
+
+OPTIONS:
+    --unix PATH       listen on a unix-domain socket at PATH
+    --tcp ADDR        listen on a TCP address (e.g. 127.0.0.1:7700; port 0 picks one)
+    --no-coalesce     disable request coalescing and engine caching (baseline mode)
+    --queue-cap N     bounded queue depth before shedding (default 1024)
+    --cache-cap N     engine-core LRU capacity (default 32; 0 disables)
+    --linger-ms N     batching linger in milliseconds (default 1)
+    --help            print this help
+
+Stop the daemon with `paradl-client --connect <target> --shutdown`: queued
+queries drain, then the process exits.";
+
+fn parse_args() -> Result<(Bind, ServerConfig), String> {
+    let mut bind = None;
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--unix" => bind = Some(Bind::Unix(value(&mut args, "--unix")?.into())),
+            "--tcp" => bind = Some(Bind::Tcp(value(&mut args, "--tcp")?)),
+            "--no-coalesce" => {
+                config.coalesce = false;
+                config.cache_entries = 0;
+            }
+            "--queue-cap" => {
+                config.queue_cap = value(&mut args, "--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs an integer".to_string())?;
+            }
+            "--cache-cap" => {
+                config.cache_entries = value(&mut args, "--cache-cap")?
+                    .parse()
+                    .map_err(|_| "--cache-cap needs an integer".to_string())?;
+            }
+            "--linger-ms" => {
+                let ms: u64 = value(&mut args, "--linger-ms")?
+                    .parse()
+                    .map_err(|_| "--linger-ms needs an integer".to_string())?;
+                config.linger = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let bind = bind.ok_or("one of --unix or --tcp is required")?;
+    Ok((bind, config))
+}
+
+fn main() -> ExitCode {
+    let (bind, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(bind, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("paradl-serve listening on {}", server.bound());
+    server.join();
+    eprintln!("paradl-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,130 @@
+//! Client-side plumbing: connecting to a daemon and exchanging frames.
+
+use crate::proto::{self, FrameRead, Request, Response, MAX_FRAME};
+use crate::server::Bind;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// A unix-domain socket.
+    Unix(UnixStream),
+    /// A TCP socket.
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl Stream {
+    /// Sets the read timeout on the underlying socket.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+/// Parses a `unix:/path/to.sock` or `tcp:host:port` connect target.
+pub fn parse_target(text: &str) -> Result<Bind, String> {
+    if let Some(path) = text.strip_prefix("unix:") {
+        Ok(Bind::Unix(PathBuf::from(path)))
+    } else if let Some(addr) = text.strip_prefix("tcp:") {
+        Ok(Bind::Tcp(addr.to_string()))
+    } else {
+        Err(format!("target {text:?} must start with \"unix:\" or \"tcp:\""))
+    }
+}
+
+/// One client connection to a daemon. Requests are answered in order on the
+/// same connection, so a `Connection` is also a unit of serialization.
+#[derive(Debug)]
+pub struct Connection {
+    stream: Stream,
+}
+
+impl Connection {
+    /// Connects to a daemon.
+    pub fn connect(target: &Bind) -> io::Result<Connection> {
+        let stream = match target {
+            Bind::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Bind::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr)?),
+        };
+        Ok(Connection { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        let payload =
+            request.to_json().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?.render();
+        proto::write_frame(&mut self.stream, payload.as_bytes(), MAX_FRAME)?;
+        loop {
+            match proto::read_frame(&mut self.stream, MAX_FRAME, || true)? {
+                FrameRead::Frame(bytes) => {
+                    let text = std::str::from_utf8(&bytes).map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8")
+                    })?;
+                    let json = paradl_core::jsonio::Json::parse(text).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+                    })?;
+                    return Response::from_json(&json)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+                FrameRead::Idle => continue,
+                FrameRead::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before responding",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper: send one query, optionally with a deadline.
+    pub fn query(
+        &mut self,
+        query: &paradl_core::query::Query,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Response> {
+        self.roundtrip(&Request::Query { query: query.clone(), deadline_ms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_parse() {
+        assert_eq!(parse_target("unix:/tmp/x.sock").unwrap(), Bind::Unix("/tmp/x.sock".into()));
+        assert_eq!(parse_target("tcp:127.0.0.1:7777").unwrap(), Bind::Tcp("127.0.0.1:7777".into()));
+        assert!(parse_target("http://nope").is_err());
+    }
+}

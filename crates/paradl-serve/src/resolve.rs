@@ -1,0 +1,37 @@
+//! Model-name resolution for the wire protocol.
+//!
+//! Queries travel with the model **by name** (shipping layer lists would
+//! dwarf every other field), so the daemon maps names back to its bundled
+//! model zoo here.
+
+use paradl_core::model::Model;
+
+/// Resolves a wire model name against the bundled zoo.
+///
+/// Accepts everything [`paradl_models::by_name`] accepts (the
+/// case-insensitive aliases like `"resnet50"`), and additionally matches the
+/// *exact* display names of the bundled models case-insensitively — e.g.
+/// `"CosmoFlow-256"`, the name `Model::name` actually carries, which the
+/// alias table does not spell.
+pub fn resolve_model(name: &str) -> Option<Model> {
+    paradl_models::by_name(name).or_else(|| {
+        let mut zoo = paradl_models::paper_models();
+        zoo.push(paradl_models::alexnet());
+        zoo.into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_aliases_and_display_names() {
+        assert_eq!(resolve_model("resnet50").unwrap().name, "ResNet-50");
+        assert_eq!(resolve_model("cosmoflow").unwrap().name, "CosmoFlow-256");
+        // The display name itself, which `by_name` alone cannot resolve.
+        assert_eq!(resolve_model("CosmoFlow-256").unwrap().name, "CosmoFlow-256");
+        assert_eq!(resolve_model("cosmoflow-256").unwrap().name, "CosmoFlow-256");
+        assert!(resolve_model("gpt-17").is_none());
+    }
+}

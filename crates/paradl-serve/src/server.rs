@@ -1,0 +1,620 @@
+//! The daemon: listener, per-connection threads, and the coalescing queue.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! accept thread ──▶ connection threads ──try_send──▶ bounded queue
+//!                        ▲                                │
+//!                        └────── per-request reply ◀── batcher thread
+//! ```
+//!
+//! Every connection gets a thread that reads frames, decodes requests, and
+//! enqueues queries onto one bounded channel; a single **batcher** thread
+//! drains the channel and answers. Control operations (ping/stats/shutdown)
+//! are answered inline on the connection thread.
+//!
+//! ## The coalescing invariant
+//!
+//! The batcher lingers briefly after the first dequeue, drains everything
+//! else that arrived, and groups the ranked queries (top-k / full-rank) by
+//! their *problem class*: same model name, same cluster fingerprint, same
+//! non-batch config fields (dataset, epochs, δ, γ) and same effective
+//! constraints. Each group becomes one [`QueryGrid`] whose batch axis is
+//! the group's distinct batch sizes, answered by a single
+//! [`GridSweep::run_cached`] pass — so `n` concurrent requests over `k ≤ n`
+//! distinct batches cost `k` cell evaluations plus one (usually cached)
+//! engine-core build, instead of `n` full evaluations.
+//!
+//! This is sound because a grid sweep is defined to produce, cell for cell,
+//! the same `SearchReport` a standalone search would (the conformance tests
+//! in `paradl-core` pin that), and because `QueryAnswer::to_json` excludes
+//! the one order-dependent counter (`pruned_by_bound`). Served answers are
+//! therefore **byte-identical** to local `Oracle::answer` results — the
+//! integration tests assert exactly that.
+//!
+//! Suggest and survey queries are cheap and are answered per-request, still
+//! sharing the engine-core LRU.
+//!
+//! ## Robustness
+//!
+//! * Malformed JSON, unknown ops, unknown models, invalid configs: error
+//!   *response*, connection lives, daemon lives.
+//! * Oversized or truncated frames: the connection is dropped (the stream
+//!   cannot be resynchronized), the daemon lives.
+//! * Full queue: [`Response::Shed`] without evaluation (backpressure).
+//! * Expired deadline at dequeue: [`Response::DeadlineExpired`] without
+//!   evaluation.
+//! * Graceful shutdown (local call or remote `shutdown` op): new queries
+//!   are refused with [`Response::ShuttingDown`], everything already queued
+//!   is drained and answered, then threads exit and the socket is removed.
+
+use crate::client::Stream;
+use crate::proto::{self, AnswerStats, FrameRead, Request, Response, MAX_FRAME};
+use crate::resolve::resolve_model;
+use paradl_core::cluster::ClusterCache;
+use paradl_core::engine::{cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache};
+use paradl_core::grid::{GridSweep, QueryGrid};
+use paradl_core::jsonio::Json;
+use paradl_core::oracle::Oracle;
+use paradl_core::query::{Query, QueryAnswer, QueryMode};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl std::fmt::Display for Bind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bind::Unix(path) => write!(f, "unix:{}", path.display()),
+            Bind::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Merge concurrent ranked queries into shared grid sweeps and reuse
+    /// cached engine cores. Off = the per-request baseline the load
+    /// generator compares against.
+    pub coalesce: bool,
+    /// Capacity of the engine-core/cluster LRU (0 disables caching).
+    pub cache_entries: usize,
+    /// Bounded queue depth; requests beyond it are shed.
+    pub queue_cap: usize,
+    /// How long the batcher lingers after the first dequeue to let
+    /// concurrent requests join the batch.
+    pub linger: Duration,
+    /// Per-frame payload cap in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            coalesce: true,
+            cache_entries: 32,
+            queue_cap: 1024,
+            linger: Duration::from_millis(1),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// Monotonic serving counters, surfaced by the `stats` op.
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    connections: AtomicU64,
+    coalesced_groups: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    counters: Counters,
+    cache: EngineCache,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn stats_json(&self) -> Json {
+        let c = &self.counters;
+        let cache = self.cache.stats();
+        Json::obj([
+            ("served", Json::count(c.served.load(Ordering::Relaxed) as usize)),
+            ("errors", Json::count(c.errors.load(Ordering::Relaxed) as usize)),
+            ("shed", Json::count(c.shed.load(Ordering::Relaxed) as usize)),
+            ("deadline_expired", Json::count(c.deadline_expired.load(Ordering::Relaxed) as usize)),
+            ("connections", Json::count(c.connections.load(Ordering::Relaxed) as usize)),
+            ("coalesced_groups", Json::count(c.coalesced_groups.load(Ordering::Relaxed) as usize)),
+            (
+                "engine_cache",
+                Json::obj([
+                    ("hits", Json::count(cache.hits as usize)),
+                    ("misses", Json::count(cache.misses as usize)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// One queued query awaiting the batcher.
+struct Pending {
+    query: Query,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::shutdown_and_join`]
+/// leaves the threads running until a remote `shutdown` op arrives.
+pub struct Server {
+    bound: Bind,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    queue: Option<SyncSender<Pending>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon: an accept thread, per-connection
+    /// threads as clients arrive, and one batcher thread.
+    pub fn start(bind: Bind, config: ServerConfig) -> io::Result<Server> {
+        let (listener, bound) = match &bind {
+            Bind::Unix(path) => {
+                // A stale socket file from a dead daemon would fail the bind.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                (Listener::Unix(l), bind.clone())
+            }
+            Bind::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                // Report the resolved address so `port 0` binds are usable.
+                let actual = l.local_addr()?.to_string();
+                (Listener::Tcp(l), Bind::Tcp(actual))
+            }
+        };
+        let queue_cap = config.queue_cap.max(1);
+        let shared = Arc::new(Shared {
+            cache: EngineCache::new(config.cache_entries),
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Pending>(queue_cap);
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || batcher_loop(rx, &shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let socket_path = match &bind {
+                Bind::Unix(path) => Some(path.clone()),
+                Bind::Tcp(_) => None,
+            };
+            thread::spawn(move || accept_loop(listener, tx, &shared, socket_path))
+        };
+
+        Ok(Server { bound, shared, accept: Some(accept), batcher: Some(batcher), queue: Some(tx) })
+    }
+
+    /// The resolved listen address (useful after binding TCP port 0).
+    pub fn bound(&self) -> &Bind {
+        &self.bound
+    }
+
+    /// Engine-cache statistics (hits/misses so far).
+    pub fn cache_stats(&self) -> paradl_core::engine::EngineCacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Flags the daemon to shut down: stop accepting, refuse new queries,
+    /// drain everything queued. Does not wait — pair with [`Server::join`].
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits until the daemon has fully shut down (triggered locally via
+    /// [`Server::trigger_shutdown`] or remotely via the `shutdown` op).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Dropping our queue sender lets the batcher's channel disconnect
+        // once every connection thread has exited too.
+        drop(self.queue.take());
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// [`Server::trigger_shutdown`] + [`Server::join`].
+    pub fn shutdown_and_join(self) {
+        self.trigger_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    tx: SyncSender<Pending>,
+    shared: &Arc<Shared>,
+    socket_path: Option<PathBuf>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok(stream) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                // Connection reads poll at this granularity so the thread
+                // notices shutdown without a wakeup mechanism.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                let tx = tx.clone();
+                let shared = Arc::clone(shared);
+                connections.push(thread::spawn(move || connection_loop(stream, tx, &shared)));
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn connection_loop(mut stream: Stream, tx: SyncSender<Pending>, shared: &Arc<Shared>) {
+    loop {
+        match proto::read_frame(&mut stream, shared.config.max_frame, || !shared.is_shutdown()) {
+            Ok(FrameRead::Idle) => {
+                if shared.is_shutdown() {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(payload)) => {
+                let response = handle_frame(&payload, &tx, shared);
+                let frame = response.to_json().render();
+                match proto::write_frame(&mut stream, frame.as_bytes(), shared.config.max_frame) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        // The answer exceeded the frame cap. Nothing was
+                        // written (the cap is checked up front), so the
+                        // stream is still synchronized: substitute an error
+                        // response and keep the connection.
+                        let fallback =
+                            Response::Error("response exceeds the frame size cap".to_string());
+                        if proto::write_frame(
+                            &mut stream,
+                            fallback.to_json().render().as_bytes(),
+                            shared.config.max_frame,
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix: the stream cannot be resynced.
+                // Tell the peer why, then hang up. The daemon lives on.
+                let response = Response::Error(format!("protocol error: {e}"));
+                let _ = proto::write_frame(
+                    &mut stream,
+                    response.to_json().render().as_bytes(),
+                    shared.config.max_frame,
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_frame(payload: &[u8], tx: &SyncSender<Pending>, shared: &Arc<Shared>) -> Response {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Response::Error("frame payload is not UTF-8".to_string());
+        }
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Response::Error(format!("malformed JSON: {e}"));
+        }
+    };
+    let request = match Request::from_json(&json, &resolve_model) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Response::Error(e);
+        }
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::ServerStats(shared.stats_json()),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+        Request::Query { query, deadline_ms } => enqueue_query(query, deadline_ms, tx, shared),
+    }
+}
+
+fn enqueue_query(
+    query: Query,
+    deadline_ms: Option<u64>,
+    tx: &SyncSender<Pending>,
+    shared: &Arc<Shared>,
+) -> Response {
+    // Reject what the oracle would reject, before it costs queue space.
+    if query.model.is_none() || query.config.is_none() || query.cluster.is_none() {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::Error("query workload is incomplete".to_string());
+    }
+    if let Err(e) = query.config.expect("checked above").validate() {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::Error(format!("invalid config: {e}"));
+    }
+    if shared.is_shutdown() {
+        return Response::ShuttingDown;
+    }
+    let now = Instant::now();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let pending = Pending {
+        query,
+        deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+        enqueued: now,
+        reply: reply_tx,
+    };
+    match tx.try_send(pending) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(response) => response,
+            Err(_) => Response::ShuttingDown,
+        },
+        Err(TrySendError::Full(_)) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            Response::Shed
+        }
+        Err(TrySendError::Disconnected(_)) => Response::ShuttingDown,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batcher.
+// ---------------------------------------------------------------------------
+
+fn batcher_loop(rx: Receiver<Pending>, shared: &Arc<Shared>) {
+    let sweep = GridSweep::new();
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        // Linger so concurrent requests can join this batch, then drain.
+        if shared.config.coalesce && !shared.config.linger.is_zero() {
+            thread::sleep(shared.config.linger);
+        }
+        let mut batch = vec![first];
+        while let Ok(p) = rx.try_recv() {
+            batch.push(p);
+        }
+        process_batch(batch, &sweep, shared);
+    }
+    // Stragglers that raced the shutdown check get a refusal, not silence.
+    while let Ok(p) = rx.try_recv() {
+        let _ = p.reply.send(Response::ShuttingDown);
+    }
+}
+
+fn process_batch(batch: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shared>) {
+    // BTreeMap for deterministic group order (stable stats/telemetry).
+    let mut groups: BTreeMap<String, Vec<Pending>> = BTreeMap::new();
+    let mut singles = Vec::new();
+    for p in batch {
+        if let Some(deadline) = p.deadline {
+            if Instant::now() >= deadline {
+                shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(Response::DeadlineExpired);
+                continue;
+            }
+        }
+        if !shared.config.coalesce {
+            answer_uncoalesced(p, shared);
+            continue;
+        }
+        match p.query.mode {
+            QueryMode::TopK(_) | QueryMode::FullRank => {
+                groups.entry(group_key(&p.query)).or_default().push(p);
+            }
+            QueryMode::Suggest | QueryMode::Survey { .. } => singles.push(p),
+        }
+    }
+    for p in singles {
+        answer_single(p, shared);
+    }
+    for (_, group) in groups {
+        answer_ranked_group(group, sweep, shared);
+    }
+}
+
+/// The problem class a ranked query belongs to. Queries in the same class
+/// differ at most in batch size and can share one grid sweep. Models travel
+/// by name on the wire, so equal names imply equal models here.
+fn group_key(query: &Query) -> String {
+    let model = query.model.as_ref().expect("validated at enqueue");
+    let cluster = query.cluster.as_ref().expect("validated at enqueue");
+    let config = query.config.expect("validated at enqueue");
+    format!(
+        "{}|{:016x}|{}|{}|{:016x}|{:016x}|{:?}",
+        model.name,
+        cluster_fingerprint(cluster),
+        config.dataset_size,
+        config.epochs,
+        config.bytes_per_item.to_bits(),
+        config.memory_reuse.to_bits(),
+        query.effective_constraints(),
+    )
+}
+
+/// Baseline path (coalescing off): evaluate the query from scratch, exactly
+/// like a standalone `Query::run`.
+fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
+    let queue_us = p.enqueued.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let response = match p.query.run() {
+        Ok(answer) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            Response::Answer {
+                answer: answer.to_json(),
+                stats: AnswerStats {
+                    cache_hit: false,
+                    coalesced: 1,
+                    batch_cells: 1,
+                    queue_us,
+                    eval_us: start.elapsed().as_micros() as u64,
+                },
+            }
+        }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            Response::Error(e)
+        }
+    };
+    let _ = p.reply.send(response);
+}
+
+/// Suggest/survey path: per-request evaluation on a (usually cached) engine
+/// core.
+fn answer_single(p: Pending, shared: &Arc<Shared>) {
+    let queue_us = p.enqueued.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let query = &p.query;
+    let model = query.model.as_ref().expect("validated at enqueue");
+    let cluster = query.cluster.as_ref().expect("validated at enqueue");
+    let config = query.config.expect("validated at enqueue");
+
+    let key = engine_fingerprint(model, cluster, &config);
+    let cache_hit = shared.cache.contains_core(key);
+    let topology =
+        shared.cache.cluster(cluster_fingerprint(cluster), || Arc::new(ClusterCache::new(cluster)));
+    let core = shared.cache.core(key, || {
+        CostEngine::with_cache(model, &cluster.device, cluster, config, &topology).core_handle()
+    });
+    let engine = CostEngine::from_core(model, cluster, config, core);
+    let oracle = Oracle::new(model, &cluster.device, cluster, config);
+    let answer = oracle.answer_with_engine(&engine, query);
+
+    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+    let _ = p.reply.send(Response::Answer {
+        answer: answer.to_json(),
+        stats: AnswerStats {
+            cache_hit,
+            coalesced: 1,
+            batch_cells: 1,
+            queue_us,
+            eval_us: start.elapsed().as_micros() as u64,
+        },
+    });
+}
+
+/// Ranked path: one shared grid sweep answers the whole group.
+fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shared>) {
+    let coalesced = group.len();
+    if coalesced > 1 {
+        shared.counters.coalesced_groups.fetch_add(1, Ordering::Relaxed);
+    }
+    let lead = &group[0];
+    let model = lead.query.model.clone().expect("validated at enqueue");
+    let cluster = lead.query.cluster.clone().expect("validated at enqueue");
+    let base = lead.query.config.expect("validated at enqueue");
+    let constraints = lead.query.effective_constraints();
+
+    let mut batches: Vec<usize> =
+        group.iter().map(|p| p.query.config.expect("validated at enqueue").batch_size).collect();
+    batches.sort_unstable();
+    batches.dedup();
+
+    let cache_hit = shared.cache.contains_core(engine_fingerprint(&model, &cluster, &base));
+    let grid = QueryGrid::new(constraints)
+        .with_model(model, base)
+        .with_batches(batches.iter().copied())
+        .with_cluster(cluster);
+    let batch_cells = grid.num_queries();
+
+    let start = Instant::now();
+    let report = sweep.run_cached(&grid, &shared.cache);
+    let eval_us = start.elapsed().as_micros() as u64;
+
+    for p in group {
+        let batch = p.query.config.expect("validated at enqueue").batch_size;
+        let cell = report.get(0, batch, 0).expect("sweep covers every requested cell");
+        let answer = QueryAnswer::Ranked(cell.report.clone());
+        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        let _ = p.reply.send(Response::Answer {
+            answer: answer.to_json(),
+            stats: AnswerStats {
+                cache_hit,
+                coalesced,
+                batch_cells,
+                queue_us: start.duration_since(p.enqueued).as_micros() as u64,
+                eval_us,
+            },
+        });
+    }
+}

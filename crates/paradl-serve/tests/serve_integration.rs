@@ -1,0 +1,230 @@
+//! End-to-end tests of the daemon over real unix sockets.
+//!
+//! The headline property: a served answer is **byte-identical** to
+//! `Query::run()?.to_json().render()` computed locally — through the cache
+//! miss path, the cache hit path, and the coalescing grid path alike. The
+//! rest pins the robustness contract: malformed frames cost at most a
+//! connection, never the daemon; full queues shed; expired deadlines are
+//! refused; graceful shutdown drains.
+
+use paradl_core::cluster::ClusterSpec;
+use paradl_core::config::TrainingConfig;
+use paradl_core::jsonio::Json;
+use paradl_core::oracle::Constraints;
+use paradl_core::query::{Query, QueryMode};
+use paradl_serve::client::Connection;
+use paradl_serve::proto::{self, FrameRead, Request, Response, MAX_FRAME};
+use paradl_serve::server::{Bind, Server, ServerConfig};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+static SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_socket() -> (Bind, PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "paradl-serve-test-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    (Bind::Unix(path.clone()), path)
+}
+
+fn query(mode: QueryMode, batch: usize) -> Query {
+    Query::default()
+        .with_model(paradl_models::alexnet())
+        .with_config(TrainingConfig::imagenet(batch))
+        .with_cluster(ClusterSpec::workstation(8))
+        .with_constraints(Constraints { max_pes: 256, ..Constraints::default() })
+        .with_mode(mode)
+}
+
+fn answer_bytes(response: Response) -> (String, proto::AnswerStats) {
+    match response {
+        Response::Answer { answer, stats } => (answer.render(), stats),
+        other => panic!("expected an answer, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_answers_are_byte_identical_to_local_ones() {
+    let (bind, _path) = temp_socket();
+    let server = Server::start(bind.clone(), ServerConfig::default()).unwrap();
+
+    // Modes covering all three answer shapes and both batcher paths
+    // (ranked → grid coalescing, suggest/survey → single path).
+    let queries: Vec<Query> = vec![
+        query(QueryMode::TopK(5), 256),
+        query(QueryMode::TopK(5), 512),
+        query(QueryMode::FullRank, 256),
+        query(QueryMode::Suggest, 256),
+        query(QueryMode::Survey { pes: 16 }, 256),
+    ];
+
+    // Concurrent clients: every thread checks its own query against a
+    // locally computed answer, bytewise. This exercises the cache-miss path
+    // and (with luck and the linger window) actual coalescing.
+    let workers: Vec<_> = (0..8)
+        .map(|i| {
+            let bind = bind.clone();
+            let q = queries[i % queries.len()].clone();
+            std::thread::spawn(move || {
+                let mut connection = Connection::connect(&bind).unwrap();
+                let (served, _) = answer_bytes(connection.query(&q, None).unwrap());
+                let local = q.run().unwrap().to_json().render();
+                assert_eq!(served, local, "served answer drifted from the local oracle");
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    // Second pass on one connection: the cache is warm now, so the ranked
+    // query must report a core-cache hit — and stay byte-identical.
+    let mut connection = Connection::connect(&bind).unwrap();
+    let q = query(QueryMode::TopK(5), 256);
+    let (served, stats) = answer_bytes(connection.query(&q, None).unwrap());
+    assert_eq!(served, q.run().unwrap().to_json().render());
+    assert!(stats.cache_hit, "second identical query should hit the engine-core cache");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn malformed_frames_do_not_kill_the_daemon() {
+    let (bind, path) = temp_socket();
+    let server = Server::start(bind.clone(), ServerConfig::default()).unwrap();
+
+    let read_response = |stream: &mut UnixStream| -> Response {
+        match proto::read_frame(stream, MAX_FRAME, || true).unwrap() {
+            FrameRead::Frame(bytes) => {
+                Response::from_json(&Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap())
+                    .unwrap()
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    };
+
+    // Garbage payload → error response, connection lives.
+    let mut stream = UnixStream::connect(&path).unwrap();
+    proto::write_frame(&mut stream, b"certainly not json", MAX_FRAME).unwrap();
+    match read_response(&mut stream) {
+        Response::Error(message) => assert!(message.contains("malformed JSON"), "{message}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // Same connection: wrong schema, unknown op, unknown model.
+    proto::write_frame(&mut stream, br#"{"no_op": 1}"#, MAX_FRAME).unwrap();
+    assert!(matches!(read_response(&mut stream), Response::Error(_)));
+    proto::write_frame(&mut stream, br#"{"op": "explode"}"#, MAX_FRAME).unwrap();
+    assert!(matches!(read_response(&mut stream), Response::Error(_)));
+    let mut unknown_model = query(QueryMode::Suggest, 256).to_json().unwrap();
+    if let Json::Obj(fields) = &mut unknown_model {
+        fields[0].1 = Json::obj([("name", Json::str("gpt-17"))]);
+    }
+    let request = format!(r#"{{"op":"query","query":{}}}"#, unknown_model.render());
+    proto::write_frame(&mut stream, request.as_bytes(), MAX_FRAME).unwrap();
+    match read_response(&mut stream) {
+        Response::Error(message) => assert!(message.contains("unknown model"), "{message}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // Oversized length prefix → error response, then the server hangs up.
+    let mut stream = UnixStream::connect(&path).unwrap();
+    stream.write_all(&(u32::MAX).to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    match read_response(&mut stream) {
+        Response::Error(message) => assert!(message.contains("protocol error"), "{message}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // Truncated frame: claim 64 bytes, send 10, hang up mid-frame.
+    let mut stream = UnixStream::connect(&path).unwrap();
+    stream.write_all(&(64u32).to_be_bytes()).unwrap();
+    stream.write_all(b"ten bytes!").unwrap();
+    drop(stream);
+
+    // After all of that, the daemon still answers real queries.
+    let mut connection = Connection::connect(&bind).unwrap();
+    assert_eq!(connection.roundtrip(&Request::Ping).unwrap(), Response::Pong);
+    let q = query(QueryMode::TopK(3), 256);
+    let (served, _) = answer_bytes(connection.query(&q, None).unwrap());
+    assert_eq!(served, q.run().unwrap().to_json().render());
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn full_queues_shed_and_expired_deadlines_are_refused() {
+    let (bind, _path) = temp_socket();
+    // One-slot queue and a long linger: the batcher sleeps on the first
+    // query, the second fills the queue, the third must be shed.
+    let config = ServerConfig {
+        queue_cap: 1,
+        linger: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(bind.clone(), config).unwrap();
+
+    let spawn_query = |batch: usize| {
+        let bind = bind.clone();
+        std::thread::spawn(move || {
+            let mut connection = Connection::connect(&bind).unwrap();
+            connection.query(&query(QueryMode::TopK(3), batch), None).unwrap()
+        })
+    };
+    let first = spawn_query(256);
+    std::thread::sleep(Duration::from_millis(80)); // batcher holds it, lingering
+    let second = spawn_query(512);
+    std::thread::sleep(Duration::from_millis(80)); // queue slot now occupied
+    let mut connection = Connection::connect(&bind).unwrap();
+    let third = connection.query(&query(QueryMode::TopK(3), 1024), None).unwrap();
+    assert_eq!(third, Response::Shed, "a full queue must shed, not block");
+    assert!(matches!(first.join().unwrap(), Response::Answer { .. }));
+    assert!(matches!(second.join().unwrap(), Response::Answer { .. }));
+
+    // A deadline that is already over when the batcher wakes up.
+    let expired = connection.query(&query(QueryMode::TopK(3), 256), Some(0)).unwrap();
+    assert_eq!(expired, Response::DeadlineExpired);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_queries() {
+    let (bind, path) = temp_socket();
+    let config = ServerConfig { linger: Duration::from_millis(300), ..ServerConfig::default() };
+    let server = Server::start(bind.clone(), config).unwrap();
+
+    let spawn_query = |batch: usize| {
+        let bind = bind.clone();
+        std::thread::spawn(move || {
+            let mut connection = Connection::connect(&bind).unwrap();
+            connection.query(&query(QueryMode::TopK(3), batch), None).unwrap()
+        })
+    };
+    // Two queries in flight while the batcher lingers…
+    let first = spawn_query(256);
+    std::thread::sleep(Duration::from_millis(60));
+    let second = spawn_query(512);
+    std::thread::sleep(Duration::from_millis(60));
+    // …then a remote shutdown lands.
+    let mut control = Connection::connect(&bind).unwrap();
+    assert_eq!(control.roundtrip(&Request::Shutdown).unwrap(), Response::ShuttingDown);
+
+    // New queries are refused. (The server may instead have torn the
+    // connection down already — also a refusal, not an answer.)
+    if let Ok(response) = control.query(&query(QueryMode::TopK(3), 256), None) {
+        assert_eq!(response, Response::ShuttingDown);
+    }
+
+    // The in-flight queries still get real answers (drained, not dropped).
+    assert!(matches!(first.join().unwrap(), Response::Answer { .. }));
+    assert!(matches!(second.join().unwrap(), Response::Answer { .. }));
+
+    server.join();
+    assert!(!path.exists(), "the unix socket file should be removed on shutdown");
+}

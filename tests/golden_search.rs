@@ -17,14 +17,13 @@
 //!
 //! and commit the rewritten JSON files (the diff *is* the review artifact).
 //!
-//! The fixtures are written and read with a self-contained JSON
-//! emitter/parser below (the offline workspace has no serde); floats are
+//! The fixtures are written and read with the shared `paradl_core::jsonio`
+//! emitter/parser (the offline workspace has no serde); floats are
 //! serialized with Rust's shortest-round-trip `Display`, so blessed values
 //! reparse bit-exactly and the 1e-9 tolerance only absorbs genuine
 //! arithmetic drift, not serialization loss.
 
 use paradl::prelude::*;
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Relative drift tolerance for projected costs and memory.
@@ -81,199 +80,43 @@ fn sweep_model(model: &Model) -> Vec<(usize, String, SearchReport)> {
 }
 
 // ---------------------------------------------------------------------------
-// Fixture serialization.
+// Fixture serialization (via the shared `jsonio` pretty renderer, whose
+// leaf-container inlining reproduces the blessed fixture layout byte for
+// byte).
 // ---------------------------------------------------------------------------
+
+fn fixture_tree(model: &Model, cells: &[(usize, String, SearchReport)]) -> Json {
+    let cell_values: Vec<Json> = cells
+        .iter()
+        .map(|(batch, cluster, report)| {
+            let top: Vec<Json> = report
+                .top(TOP)
+                .iter()
+                .map(|c| {
+                    Json::obj([
+                        ("strategy", Json::str(c.strategy.to_string())),
+                        ("pes", Json::count(c.strategy.total_pes())),
+                        ("epoch_time", Json::num(c.projection.cost.epoch_time())),
+                        ("memory_per_pe", Json::num(c.projection.cost.memory_per_pe_bytes)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("batch", Json::count(*batch)),
+                ("cluster", Json::str(cluster.clone())),
+                ("enumerated", Json::count(report.enumerated)),
+                ("pruned_by_memory", Json::count(report.pruned_by_memory)),
+                ("top", Json::Arr(top)),
+            ])
+        })
+        .collect();
+    Json::obj([("model", Json::str(model.name.clone())), ("cells", Json::Arr(cell_values))])
+}
 
 fn render_fixture(model: &Model, cells: &[(usize, String, SearchReport)]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"model\": \"{}\",", model.name);
-    let _ = writeln!(out, "  \"cells\": [");
-    for (i, (batch, cluster, report)) in cells.iter().enumerate() {
-        let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"batch\": {batch},");
-        let _ = writeln!(out, "      \"cluster\": \"{cluster}\",");
-        let _ = writeln!(out, "      \"enumerated\": {},", report.enumerated);
-        let _ = writeln!(out, "      \"pruned_by_memory\": {},", report.pruned_by_memory);
-        let _ = writeln!(out, "      \"top\": [");
-        let top = report.top(TOP);
-        for (j, c) in top.iter().enumerate() {
-            let comma = if j + 1 < top.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "        {{\"strategy\": \"{}\", \"pes\": {}, \"epoch_time\": {}, \"memory_per_pe\": {}}}{comma}",
-                c.strategy,
-                c.strategy.total_pes(),
-                c.projection.cost.epoch_time(),
-                c.projection.cost.memory_per_pe_bytes
-            );
-        }
-        let _ = writeln!(out, "      ]");
-        let comma = if i + 1 < cells.len() { "," } else { "" };
-        let _ = writeln!(out, "    }}{comma}");
-    }
-    let _ = writeln!(out, "  ]");
-    let _ = writeln!(out, "}}");
+    let mut out = fixture_tree(model, cells).render_pretty();
+    out.push('\n');
     out
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parser (objects, arrays, strings, numbers — the subset the
-// fixtures use).
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Obj(Vec<(String, Json)>),
-    Arr(Vec<Json>),
-    Str(String),
-    Num(f64),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> &Json {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .unwrap_or_else(|| panic!("fixture missing key {key:?}")),
-            other => panic!("expected object with key {key:?}, got {other:?}"),
-        }
-    }
-
-    fn arr(&self) -> &[Json] {
-        match self {
-            Json::Arr(items) => items,
-            other => panic!("expected array, got {other:?}"),
-        }
-    }
-
-    fn str(&self) -> &str {
-        match self {
-            Json::Str(s) => s,
-            other => panic!("expected string, got {other:?}"),
-        }
-    }
-
-    fn num(&self) -> f64 {
-        match self {
-            Json::Num(n) => *n,
-            other => panic!("expected number, got {other:?}"),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Json {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        let value = p.value();
-        p.skip_ws();
-        assert!(p.pos == p.bytes.len(), "trailing fixture content at byte {}", p.pos);
-        value
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) {
-        self.skip_ws();
-        assert!(
-            self.bytes.get(self.pos) == Some(&b),
-            "expected {:?} at byte {}",
-            b as char,
-            self.pos
-        );
-        self.pos += 1;
-    }
-
-    fn peek(&mut self) -> u8 {
-        self.skip_ws();
-        *self.bytes.get(self.pos).expect("unexpected end of fixture")
-    }
-
-    fn value(&mut self) -> Json {
-        match self.peek() {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Json::Str(self.string()),
-            _ => self.number(),
-        }
-    }
-
-    fn object(&mut self) -> Json {
-        self.expect(b'{');
-        let mut fields = Vec::new();
-        if self.peek() == b'}' {
-            self.pos += 1;
-            return Json::Obj(fields);
-        }
-        loop {
-            let key = self.string();
-            self.expect(b':');
-            fields.push((key, self.value()));
-            match self.peek() {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Json::Obj(fields);
-                }
-                other => panic!("expected ',' or '}}', got {:?}", other as char),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Json {
-        self.expect(b'[');
-        let mut items = Vec::new();
-        if self.peek() == b']' {
-            self.pos += 1;
-            return Json::Arr(items);
-        }
-        loop {
-            items.push(self.value());
-            match self.peek() {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Json::Arr(items);
-                }
-                other => panic!("expected ',' or ']', got {:?}", other as char),
-            }
-        }
-    }
-
-    fn string(&mut self) -> String {
-        self.expect(b'"');
-        let start = self.pos;
-        while self.bytes[self.pos] != b'"' {
-            assert!(self.bytes[self.pos] != b'\\', "fixture strings are escape-free");
-            self.pos += 1;
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8").to_string();
-        self.pos += 1;
-        s
-    }
-
-    fn number(&mut self) -> Json {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8");
-        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?}")))
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -314,10 +157,11 @@ fn golden_rankings_have_not_drifted() {
                 path.display()
             )
         });
-        let fixture = Parser::parse(&text);
-        assert_eq!(fixture.get("model").str(), model.name, "{}", path.display());
+        let fixture = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed fixture: {e}", path.display()));
+        assert_eq!(fixture.req("model").as_str(), model.name, "{}", path.display());
 
-        let blessed_cells = fixture.get("cells").arr();
+        let blessed_cells = fixture.req("cells").as_arr();
         assert_eq!(
             blessed_cells.len(),
             cells.len(),
@@ -326,29 +170,29 @@ fn golden_rankings_have_not_drifted() {
         );
         for (blessed, (batch, cluster, report)) in blessed_cells.iter().zip(&cells) {
             let at = format!("{} B={batch} cluster={cluster}", model.name);
-            assert_eq!(blessed.get("batch").num() as usize, *batch, "{at}: cell order");
-            assert_eq!(blessed.get("cluster").str(), cluster, "{at}: cell order");
+            assert_eq!(blessed.req("batch").as_num() as usize, *batch, "{at}: cell order");
+            assert_eq!(blessed.req("cluster").as_str(), cluster, "{at}: cell order");
             assert_eq!(
-                blessed.get("enumerated").num() as usize,
+                blessed.req("enumerated").as_num() as usize,
                 report.enumerated,
                 "{at}: enumeration count drifted"
             );
             assert_eq!(
-                blessed.get("pruned_by_memory").num() as usize,
+                blessed.req("pruned_by_memory").as_num() as usize,
                 report.pruned_by_memory,
                 "{at}: memory-pruning count drifted"
             );
             let top = report.top(TOP);
-            let blessed_top = blessed.get("top").arr();
+            let blessed_top = blessed.req("top").as_arr();
             assert_eq!(blessed_top.len(), top.len(), "{at}: ranking length drifted");
             for (rank, (b, c)) in blessed_top.iter().zip(top).enumerate() {
                 assert_eq!(
-                    b.get("strategy").str(),
+                    b.req("strategy").as_str(),
                     c.strategy.to_string(),
                     "{at}: ranking drifted at position {rank}"
                 );
                 let time_drift =
-                    relative_drift(c.projection.cost.epoch_time(), b.get("epoch_time").num());
+                    relative_drift(c.projection.cost.epoch_time(), b.req("epoch_time").as_num());
                 assert!(
                     time_drift <= TOLERANCE,
                     "{at}: epoch time of {} drifted by {time_drift:e} (> {TOLERANCE:e})",
@@ -356,7 +200,7 @@ fn golden_rankings_have_not_drifted() {
                 );
                 let mem_drift = relative_drift(
                     c.projection.cost.memory_per_pe_bytes,
-                    b.get("memory_per_pe").num(),
+                    b.req("memory_per_pe").as_num(),
                 );
                 assert!(
                     mem_drift <= TOLERANCE,
@@ -374,15 +218,15 @@ fn fixture_parser_round_trips_the_emitter() {
     // the values it was rendered from (shortest-round-trip floats).
     let model = paradl::models::cosmoflow();
     let cells = sweep_model(&model);
-    let parsed = Parser::parse(&render_fixture(&model, &cells));
-    assert_eq!(parsed.get("model").str(), model.name);
-    let parsed_cells = parsed.get("cells").arr();
+    let parsed = Json::parse(&render_fixture(&model, &cells)).expect("rendered fixture parses");
+    assert_eq!(parsed.req("model").as_str(), model.name);
+    let parsed_cells = parsed.req("cells").as_arr();
     assert_eq!(parsed_cells.len(), cells.len());
     for (blessed, (_, _, report)) in parsed_cells.iter().zip(&cells) {
-        for (b, c) in blessed.get("top").arr().iter().zip(report.top(TOP)) {
-            assert_eq!(b.get("strategy").str(), c.strategy.to_string());
-            assert_eq!(b.get("epoch_time").num(), c.projection.cost.epoch_time());
-            assert_eq!(b.get("memory_per_pe").num(), c.projection.cost.memory_per_pe_bytes);
+        for (b, c) in blessed.req("top").as_arr().iter().zip(report.top(TOP)) {
+            assert_eq!(b.req("strategy").as_str(), c.strategy.to_string());
+            assert_eq!(b.req("epoch_time").as_num(), c.projection.cost.epoch_time());
+            assert_eq!(b.req("memory_per_pe").as_num(), c.projection.cost.memory_per_pe_bytes);
         }
     }
 }

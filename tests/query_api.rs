@@ -1,0 +1,117 @@
+//! Workspace-level equivalence tests for the unified Query API.
+//!
+//! `Oracle::answer` is the canonical entry point; these tests pin it to the
+//! historical role methods (`suggest`, `search`, `survey`) and pin the
+//! standalone `Query::run` to a hand-built oracle — through rendered JSON,
+//! the same representation the wire protocol and golden fixtures use.
+
+use paradl::prelude::*;
+
+fn workload() -> (Model, ClusterSpec, TrainingConfig) {
+    let model = paradl::models::alexnet();
+    let cluster = ClusterSpec::workstation(8);
+    let config = TrainingConfig::imagenet(256);
+    (model, cluster, config)
+}
+
+fn constraints() -> Constraints {
+    Constraints { max_pes: 256, ..Constraints::default() }
+}
+
+fn render(answer: &QueryAnswer) -> String {
+    answer.to_json().render()
+}
+
+#[test]
+fn answer_matches_the_legacy_role_methods() {
+    let (model, cluster, config) = workload();
+    let oracle = Oracle::new(&model, &cluster.device, &cluster, config);
+
+    // Suggest ≡ Oracle::suggest.
+    let suggest = Query::default().with_constraints(constraints()).with_mode(QueryMode::Suggest);
+    assert_eq!(
+        render(&oracle.answer(&suggest)),
+        render(&QueryAnswer::Suggestion(oracle.suggest(&constraints()))),
+    );
+
+    // Survey ≡ Oracle::survey at the same PE count.
+    let survey =
+        Query::default().with_constraints(constraints()).with_mode(QueryMode::Survey { pes: 16 });
+    assert_eq!(
+        render(&oracle.answer(&survey)),
+        render(&QueryAnswer::Survey(oracle.survey(16, &constraints()))),
+    );
+
+    // TopK(k) ≡ Oracle::search with top_k = Some(k), whatever the query's
+    // own constraints said.
+    let top = Query::top_k(5).with_constraints(constraints());
+    let mut expected = constraints();
+    expected.top_k = Some(5);
+    assert_eq!(
+        render(&oracle.answer(&top)),
+        render(&QueryAnswer::Ranked(oracle.search(&expected))),
+    );
+
+    // FullRank ≡ Oracle::search with top_k = None.
+    let full = Query::default()
+        .with_constraints(Constraints { top_k: Some(3), ..constraints() })
+        .with_mode(QueryMode::FullRank);
+    let mut expected = constraints();
+    expected.top_k = None;
+    assert_eq!(
+        render(&oracle.answer(&full)),
+        render(&QueryAnswer::Ranked(oracle.search(&expected))),
+    );
+}
+
+#[test]
+fn query_run_matches_a_hand_built_oracle() {
+    let (model, cluster, config) = workload();
+    let oracle = Oracle::new(&model, &cluster.device, &cluster, config);
+
+    for mode in
+        [QueryMode::Suggest, QueryMode::TopK(4), QueryMode::FullRank, QueryMode::Survey { pes: 16 }]
+    {
+        let query = Query::default()
+            .with_model(model.clone())
+            .with_config(config)
+            .with_cluster(cluster.clone())
+            .with_constraints(constraints())
+            .with_mode(mode);
+        let standalone = query.run().expect("complete query");
+        assert_eq!(render(&standalone), render(&oracle.answer(&query)), "{mode:?}");
+    }
+}
+
+#[test]
+fn incomplete_queries_are_rejected_with_a_reason() {
+    let err = Query::top_k(3).run().expect_err("no workload");
+    assert!(err.contains("model"), "{err}");
+
+    let (model, cluster, _) = workload();
+    let err = Query::top_k(3)
+        .with_model(model)
+        .with_cluster(cluster)
+        .run()
+        .expect_err("still missing the config");
+    assert!(err.contains("config"), "{err}");
+}
+
+#[test]
+fn queries_survive_the_wire_representation() {
+    let (model, cluster, config) = workload();
+    let query = Query::top_k(7)
+        .with_model(model.clone())
+        .with_config(config)
+        .with_cluster(cluster)
+        .with_constraints(constraints());
+
+    let rendered = query.to_json().expect("model present").render();
+    let reparsed = Json::parse(&rendered).expect("wire bytes parse");
+    let resolve = |name: &str| (name == model.name).then(|| model.clone());
+    let back = Query::from_json(&reparsed, &resolve).expect("wire query resolves");
+    assert_eq!(back, query);
+
+    // And the round-tripped query answers identically.
+    assert_eq!(render(&back.run().expect("complete")), render(&query.run().expect("complete")),);
+}
