@@ -898,7 +898,13 @@ impl<V: Clone> Lru<V> {
         if self.cap == 0 {
             return (build(), false);
         }
-        let mut entries = self.entries.lock().unwrap();
+        // Recover from poisoning rather than unwrap: the serve daemon runs
+        // query evaluation under `catch_unwind`, and a panic while this lock
+        // is held must cost that one request, not brick the cache (and with
+        // it every future cached query) for the daemon's lifetime. The
+        // guarded Vec is structurally valid at every await-free step above,
+        // so the recovered state is safe to keep using.
+        let mut entries = self.entries.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
             let entry = entries.remove(pos);
             let value = entry.1.clone();
@@ -916,7 +922,13 @@ impl<V: Clone> Lru<V> {
 
     /// Whether `key` is cached, without promoting it.
     fn contains(&self, key: u64) -> bool {
-        self.cap != 0 && self.entries.lock().unwrap().iter().any(|(k, _)| *k == key)
+        self.cap != 0
+            && self
+                .entries
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .iter()
+                .any(|(k, _)| *k == key)
     }
 }
 

@@ -41,6 +41,12 @@ pub enum Json {
     Null,
 }
 
+/// Maximum container nesting [`Json::parse`] accepts. Real query/answer
+/// documents nest fewer than 10 levels; the limit exists so a hostile frame
+/// of unbounded `[[[…` returns a [`JsonError`] instead of overflowing the
+/// parser's recursion stack (an uncatchable abort).
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// A parse error: what went wrong and the byte offset it was detected at.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsonError {
@@ -183,7 +189,7 @@ impl Json {
     /// [`JsonError`] with the offending byte offset.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        let value = p.value()?;
+        let value = p.value(0)?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
             return Err(p.err("trailing content"));
@@ -400,10 +406,18 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, JsonError> {
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        // The parser recurses per nesting level, so a hostile frame of
+        // 100k opening brackets would otherwise ride the recursion straight
+        // into a stack overflow — an abort, not a catchable error. Depth is
+        // bounded well above anything a real query or answer document
+        // nests (< 10 levels).
+        if depth >= MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting exceeds {MAX_PARSE_DEPTH} levels")));
+        }
         match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
+            b'{' => self.object(depth),
+            b'[' => self.array(depth),
             b'"' => Ok(Json::Str(self.string()?)),
             b't' => self.keyword("true", Json::Bool(true)),
             b'f' => self.keyword("false", Json::Bool(false)),
@@ -412,7 +426,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, JsonError> {
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         if self.peek()? == b'}' {
@@ -423,7 +437,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.expect(b':')?;
-            fields.push((key, self.value()?));
+            fields.push((key, self.value(depth + 1)?));
             match self.peek()? {
                 b',' => self.pos += 1,
                 b'}' => {
@@ -437,7 +451,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, JsonError> {
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
@@ -445,7 +459,7 @@ impl<'a> Parser<'a> {
             return Ok(Json::Arr(items));
         }
         loop {
-            items.push(self.value()?);
+            items.push(self.value(depth + 1)?);
             match self.peek()? {
                 b',' => self.pos += 1,
                 b']' => {
@@ -620,6 +634,26 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail to parse");
         }
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing_the_stack() {
+        // 100k nested arrays: without the depth limit this rides the
+        // parser's recursion into a stack overflow (process abort). With
+        // it, a plain JsonError.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let hostile = format!("{}0{}", open.repeat(100_000), close.repeat(100_000));
+            let err = Json::parse(&hostile).expect_err("hostile nesting must not parse");
+            assert!(err.message.contains("nesting exceeds"), "{err}");
+        }
+        // Sane nesting short of the limit still parses.
+        let deep =
+            format!("{}0{}", "[".repeat(MAX_PARSE_DEPTH - 1), "]".repeat(MAX_PARSE_DEPTH - 1));
+        assert!(Json::parse(&deep).is_ok());
+        // And exactly at the limit fails (the boundary is pinned).
+        let at_limit =
+            format!("{}0{}", "[".repeat(MAX_PARSE_DEPTH + 1), "]".repeat(MAX_PARSE_DEPTH + 1));
+        assert!(Json::parse(&at_limit).is_err());
     }
 
     #[test]

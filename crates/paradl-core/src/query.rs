@@ -166,6 +166,27 @@ impl Query {
         Ok(oracle.answer(self))
     }
 
+    /// [`Query::run`] with panic containment: an evaluation panic (a bug,
+    /// or a degenerate workload tripping an internal invariant) comes back
+    /// as `Err` instead of unwinding into the caller. This is the
+    /// error surface long-lived embedders (the serve daemon's batcher, a
+    /// sweep driver) should use when one poisoned query must not take the
+    /// process down.
+    pub fn run_contained(&self) -> Result<QueryAnswer, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run())).unwrap_or_else(
+            |payload| {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                Err(format!("evaluation panicked: {message}"))
+            },
+        )
+    }
+
     /// Serializes the query for the wire. The model travels **by name**
     /// (the receiving side resolves it against its model zoo — shipping
     /// layer lists would dwarf every other field), the cluster and config

@@ -8,6 +8,7 @@ use paradl_core::query::{Query, QueryMode};
 use paradl_serve::client::{parse_target, Connection};
 use paradl_serve::proto::{Request, Response};
 use paradl_serve::resolve::resolve_model;
+use paradl_serve::retry::{RetryError, RetryPolicy, RetryingClient};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -34,6 +35,8 @@ QUERY OPTIONS:
     --pes N           PE count for survey mode (default 64)
     --max-pes N       PE budget constraint (default 1024)
     --deadline-ms N   abandon the query after N ms of queueing
+    --attempts N      retry budget for shed/expired/transport outcomes
+                      (default 8; 1 disables retrying)
     --json            print the raw response JSON instead of a summary";
 
 enum Op {
@@ -55,6 +58,7 @@ struct Args {
     pes: usize,
     max_pes: usize,
     deadline_ms: Option<u64>,
+    attempts: u32,
     json: bool,
 }
 
@@ -71,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         pes: 64,
         max_pes: 1024,
         deadline_ms: None,
+        attempts: 8,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -97,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => {
                 parsed.deadline_ms = Some(number(&mut args, "--deadline-ms")? as u64)
             }
+            "--attempts" => parsed.attempts = (number(&mut args, "--attempts")? as u32).max(1),
             "--json" => parsed.json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -201,18 +207,35 @@ fn main() -> ExitCode {
             }
         },
     };
-    let mut connection = match Connection::connect(&target) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: cannot connect to {}: {e}", args.target);
-            return ExitCode::FAILURE;
+    // Queries go through the retrying client (shed/expired/transport
+    // outcomes are idempotent and worth resending); control operations stay
+    // on a raw connection — retrying a shutdown against a daemon that is
+    // already draining would just be noise.
+    let response = if matches!(args.op, Op::Query) {
+        let policy = RetryPolicy { max_attempts: args.attempts, ..RetryPolicy::default() };
+        let mut client = RetryingClient::new(target, policy, 0x9a7ad1);
+        match client.roundtrip(&request) {
+            Ok(r) => r,
+            Err(RetryError::Fatal(r)) => r,
+            Err(e @ RetryError::Exhausted { .. }) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let response = match connection.roundtrip(&request) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    } else {
+        let mut connection = match Connection::connect(&target) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to {}: {e}", args.target);
+                return ExitCode::FAILURE;
+            }
+        };
+        match connection.roundtrip(&request) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     if args.json {
@@ -248,8 +271,8 @@ fn main() -> ExitCode {
             eprintln!("deadline expired before the query was evaluated");
             ExitCode::FAILURE
         }
-        Response::Error(message) => {
-            eprintln!("server error: {message}");
+        Response::Error { kind, message } => {
+            eprintln!("server error ({kind:?}): {message}");
             ExitCode::FAILURE
         }
     }

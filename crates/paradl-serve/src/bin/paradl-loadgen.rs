@@ -105,6 +105,12 @@ struct StatsAgg {
     eval_us_sum: u64,
     queue_us_sum: u64,
     cache_hits: u64,
+    // Non-success outcomes. Counting these is what keeps shed requests from
+    // silently inflating apparent health: a run that sheds half its load is
+    // visible in BENCH_serve.json, not just slower.
+    shed: u64,
+    deadline_expired: u64,
+    errors: u64,
 }
 
 impl StatsAgg {
@@ -124,6 +130,9 @@ impl StatsAgg {
         self.eval_us_sum += other.eval_us_sum;
         self.queue_us_sum += other.queue_us_sum;
         self.cache_hits += other.cache_hits;
+        self.shed += other.shed;
+        self.deadline_expired += other.deadline_expired;
+        self.errors += other.errors;
     }
 
     fn mean(&self, sum: u64) -> f64 {
@@ -163,8 +172,18 @@ fn drive(
                             agg.absorb(&stats);
                         }
                         Response::Shed => {
-                            // Backpressure: brief pause, then retry.
+                            // Backpressure: count it, brief pause, retry.
+                            agg.shed += 1;
                             std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Response::DeadlineExpired => agg.deadline_expired += 1,
+                        Response::Error { kind, message } => {
+                            // An error response mid-benchmark is a real
+                            // defect in the workload or the server; count
+                            // it and keep driving so the report shows the
+                            // rate rather than dying on the first one.
+                            agg.errors += 1;
+                            eprintln!("worker {worker}: server error ({kind:?}): {message}");
                         }
                         other => return Err(format!("unexpected response {other:?}")),
                     }
@@ -200,6 +219,9 @@ struct Measurement {
     mean_coalesced: f64,
     mean_eval_us: f64,
     cache_hit_rate: f64,
+    shed: u64,
+    deadline_expired: u64,
+    errors: u64,
 }
 
 fn measure(target: &Bind, concurrency: usize, window: Duration) -> Result<Measurement, String> {
@@ -215,6 +237,9 @@ fn measure(target: &Bind, concurrency: usize, window: Duration) -> Result<Measur
         mean_coalesced: agg.mean(agg.coalesced_sum),
         mean_eval_us: agg.mean(agg.eval_us_sum),
         cache_hit_rate: agg.mean(agg.cache_hits),
+        shed: agg.shed,
+        deadline_expired: agg.deadline_expired,
+        errors: agg.errors,
     })
 }
 
@@ -227,6 +252,9 @@ fn measurement_json(m: &Measurement) -> Json {
         ("mean_coalesced", Json::Num(m.mean_coalesced)),
         ("mean_eval_us", Json::Num(m.mean_eval_us)),
         ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
+        ("shed", Json::count(m.shed as usize)),
+        ("deadline_expired", Json::count(m.deadline_expired as usize)),
+        ("errors", Json::count(m.errors as usize)),
     ])
 }
 
@@ -317,6 +345,12 @@ fn run() -> Result<ExitCode, String> {
                     coalesced.qps, coalesced.p50_ms, coalesced.p99_ms, "-", "-",
                 );
             }
+        }
+        if coalesced.shed + coalesced.deadline_expired + coalesced.errors > 0 {
+            println!(
+                "{:>11}  non-success: shed {} expired {} errors {}",
+                "", coalesced.shed, coalesced.deadline_expired, coalesced.errors
+            );
         }
         level_rows.push(Json::Obj(fields));
     }

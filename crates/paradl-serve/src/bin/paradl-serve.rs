@@ -17,6 +17,10 @@ OPTIONS:
     --queue-cap N     bounded queue depth before shedding (default 1024)
     --cache-cap N     engine-core LRU capacity (default 32; 0 disables)
     --linger-ms N     batching linger in milliseconds (default 1)
+    --read-timeout-ms N
+                      evict a connection stalled mid-frame for N ms (default 2000)
+    --write-timeout-ms N
+                      evict a peer that won't drain its socket for N ms (default 5000)
     --help            print this help
 
 Stop the daemon with `paradl-client --connect <target> --shutdown`: queued
@@ -52,6 +56,18 @@ fn parse_args() -> Result<(Bind, ServerConfig), String> {
                     .parse()
                     .map_err(|_| "--linger-ms needs an integer".to_string())?;
                 config.linger = Duration::from_millis(ms);
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value(&mut args, "--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs an integer".to_string())?;
+                config.read_timeout = Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value(&mut args, "--write-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms needs an integer".to_string())?;
+                config.write_timeout = Duration::from_millis(ms);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -1,5 +1,6 @@
 //! Client-side plumbing: connecting to a daemon and exchanging frames.
 
+use crate::fault::{FaultPlan, FaultyStream};
 use crate::proto::{self, FrameRead, Request, Response, MAX_FRAME};
 use crate::server::Bind;
 use std::io::{self, Read, Write};
@@ -7,13 +8,16 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 
-/// A connected byte stream over either transport.
+/// A connected byte stream over either transport, optionally with a
+/// deterministic fault plan injected below the frame layer.
 #[derive(Debug)]
 pub enum Stream {
     /// A unix-domain socket.
     Unix(UnixStream),
     /// A TCP socket.
     Tcp(TcpStream),
+    /// A stream wrapped in a [`FaultyStream`] (chaos testing).
+    Faulty(Box<FaultyStream<Stream>>),
 }
 
 impl Read for Stream {
@@ -21,6 +25,7 @@ impl Read for Stream {
         match self {
             Stream::Unix(s) => s.read(buf),
             Stream::Tcp(s) => s.read(buf),
+            Stream::Faulty(s) => s.read(buf),
         }
     }
 }
@@ -30,6 +35,7 @@ impl Write for Stream {
         match self {
             Stream::Unix(s) => s.write(buf),
             Stream::Tcp(s) => s.write(buf),
+            Stream::Faulty(s) => s.write(buf),
         }
     }
 
@@ -37,6 +43,7 @@ impl Write for Stream {
         match self {
             Stream::Unix(s) => s.flush(),
             Stream::Tcp(s) => s.flush(),
+            Stream::Faulty(s) => s.flush(),
         }
     }
 }
@@ -47,7 +54,22 @@ impl Stream {
         match self {
             Stream::Unix(s) => s.set_read_timeout(timeout),
             Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Faulty(s) => s.get_ref().set_read_timeout(timeout),
         }
+    }
+
+    /// Sets the write timeout on the underlying socket.
+    pub fn set_write_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+            Stream::Faulty(s) => s.get_ref().set_write_timeout(timeout),
+        }
+    }
+
+    /// Wraps this stream in a fault injector driven by `plan`.
+    pub fn with_faults(self, plan: FaultPlan) -> Stream {
+        Stream::Faulty(Box::new(FaultyStream::new(self, plan)))
     }
 }
 
@@ -77,6 +99,14 @@ impl Connection {
             Bind::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr)?),
         };
         Ok(Connection { stream })
+    }
+
+    /// Connects to a daemon with a fault plan injected below the frame
+    /// layer (chaos testing): every byte this connection sends or receives
+    /// passes through the plan's schedule.
+    pub fn connect_faulty(target: &Bind, plan: FaultPlan) -> io::Result<Connection> {
+        let connection = Connection::connect(target)?;
+        Ok(Connection { stream: connection.stream.with_faults(plan) })
     }
 
     /// Sends one request and waits for its response.
@@ -114,6 +144,15 @@ impl Connection {
         deadline_ms: Option<u64>,
     ) -> io::Result<Response> {
         self.roundtrip(&Request::Query { query: query.clone(), deadline_ms })
+    }
+
+    /// What this connection's fault plan has injected so far (`None` when
+    /// the connection carries no fault injector).
+    pub fn fault_trace(&self) -> Option<crate::fault::FaultTrace> {
+        match &self.stream {
+            Stream::Faulty(s) => Some(s.trace()),
+            _ => None,
+        }
     }
 }
 

@@ -1,0 +1,483 @@
+//! Deterministic fault injection for the serve stack.
+//!
+//! A [`FaultPlan`] is a seeded decision stream (SplitMix64, the same
+//! fixed-draw discipline as the simulator's `OverheadSampler`): every
+//! [`FaultPlan::decide_read`] consumes exactly [`READ_DRAWS`] uniform draws
+//! and every [`FaultPlan::decide_write`] exactly [`WRITE_DRAWS`], no matter
+//! which fault (if any) triggers. Two plans with the same seed therefore
+//! produce the *same decision sequence* even under different
+//! [`FaultConfig`]s with shared fault classes — and the same seed always
+//! reproduces the same fault trace, which is what lets the chaos soak
+//! (`paradl-chaos`) assert reproducibility via [`schedule_digest`].
+//!
+//! [`FaultyStream`] wraps any `Read + Write` byte stream and injects the
+//! planned faults at the I/O boundary:
+//!
+//! * **corrupt** — one byte of an outgoing chunk is flipped (the frame
+//!   checksum in [`crate::proto`] is what turns this into a detected error
+//!   instead of a silently wrong answer);
+//! * **truncate** — only a prefix of an outgoing chunk is written, then the
+//!   stream is poisoned (the peer sees a frame that never completes);
+//! * **reset** — the stream errors with `ConnectionReset` and stays dead;
+//! * **stall** — a read sleeps first (a slow-loris-ish pause that trips the
+//!   server's slow-client eviction when long enough);
+//! * **delay** — a write sleeps first (a delayed request or response).
+//!
+//! Faults are injected *below* every protocol layer, so exercising a stack
+//! through a `FaultyStream` tests exactly what a flaky network would.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Draws consumed by one [`FaultPlan::decide_read`].
+pub const READ_DRAWS: usize = 3;
+/// Draws consumed by one [`FaultPlan::decide_write`].
+pub const WRITE_DRAWS: usize = 5;
+
+/// Per-I/O-operation fault probabilities. All probabilities are independent
+/// per operation; at most one fault triggers per operation (priority:
+/// reset > truncate > corrupt > stall/delay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that an operation hits an abrupt connection reset.
+    pub reset: f64,
+    /// Probability that a write delivers only a prefix, then dies.
+    pub truncate_write: f64,
+    /// Probability that one byte of a written chunk is flipped.
+    pub corrupt_write: f64,
+    /// Probability that a read stalls (sleeps) before reading.
+    pub stall_read: f64,
+    /// Probability that a write is delayed (sleeps) before writing.
+    pub delay_write: f64,
+    /// Maximum stall/delay duration; the actual duration is a uniform draw
+    /// in `[0, max_delay]`.
+    pub max_delay: Duration,
+}
+
+impl FaultConfig {
+    /// No faults at all (a `FaultyStream` with this config is transparent).
+    pub fn off() -> Self {
+        FaultConfig {
+            reset: 0.0,
+            truncate_write: 0.0,
+            corrupt_write: 0.0,
+            stall_read: 0.0,
+            delay_write: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Mild chaos: rare faults, short delays (~1% of operations affected).
+    pub fn mild() -> Self {
+        FaultConfig {
+            reset: 0.002,
+            truncate_write: 0.002,
+            corrupt_write: 0.004,
+            stall_read: 0.004,
+            delay_write: 0.004,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+
+    /// Moderate chaos (~4% of operations affected).
+    pub fn moderate() -> Self {
+        FaultConfig {
+            reset: 0.008,
+            truncate_write: 0.008,
+            corrupt_write: 0.012,
+            stall_read: 0.012,
+            delay_write: 0.012,
+            max_delay: Duration::from_millis(10),
+        }
+    }
+
+    /// Severe chaos (~10% of operations affected, longer delays).
+    pub fn severe() -> Self {
+        FaultConfig {
+            reset: 0.02,
+            truncate_write: 0.02,
+            corrupt_write: 0.03,
+            stall_read: 0.03,
+            delay_write: 0.03,
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+/// The decision for one read operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Read normally.
+    None,
+    /// Sleep for the given duration, then read.
+    Stall(Duration),
+    /// Fail with `ConnectionReset` and poison the stream.
+    Reset,
+}
+
+/// The decision for one write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write normally.
+    None,
+    /// Sleep for the given duration, then write.
+    Delay(Duration),
+    /// Flip the byte at this offset (modulo the chunk length).
+    Corrupt(usize),
+    /// Write only this many bytes (modulo the chunk length), then poison
+    /// the stream.
+    Truncate(usize),
+    /// Fail with `ConnectionReset` and poison the stream.
+    Reset,
+}
+
+/// Cumulative record of what a plan actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTrace {
+    /// Read operations decided.
+    pub reads: u64,
+    /// Write operations decided.
+    pub writes: u64,
+    /// Connection resets injected.
+    pub resets: u64,
+    /// Writes truncated.
+    pub truncated: u64,
+    /// Writes with a corrupted byte.
+    pub corrupted: u64,
+    /// Reads stalled.
+    pub stalls: u64,
+    /// Writes delayed.
+    pub delays: u64,
+}
+
+impl FaultTrace {
+    /// Total faults injected (excluding clean operations).
+    pub fn injected(&self) -> u64 {
+        self.resets + self.truncated + self.corrupted + self.stalls + self.delays
+    }
+
+    /// Adds another trace into this one (for aggregating across plans).
+    pub fn absorb(&mut self, other: &FaultTrace) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.resets += other.resets;
+        self.truncated += other.truncated;
+        self.corrupted += other.corrupted;
+        self.stalls += other.stalls;
+        self.delays += other.delays;
+    }
+}
+
+/// A seeded, reproducible fault schedule. See the module docs for the
+/// fixed-draw discipline that makes traces seed-deterministic.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: StdRng,
+    trace: FaultTrace,
+}
+
+impl FaultPlan {
+    /// A plan drawing its schedule from `seed` under `config`.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultPlan { config, rng: StdRng::seed_from_u64(seed), trace: FaultTrace::default() }
+    }
+
+    /// What this plan has injected so far.
+    pub fn trace(&self) -> FaultTrace {
+        self.trace
+    }
+
+    fn uniform(&mut self) -> f64 {
+        self.rng.gen_range(0.0f64..1.0)
+    }
+
+    fn severity(&mut self, u: f64) -> Duration {
+        Duration::from_micros((self.config.max_delay.as_micros() as f64 * u) as u64)
+    }
+
+    /// Decides the fault (if any) for the next read. Always consumes exactly
+    /// [`READ_DRAWS`] draws.
+    pub fn decide_read(&mut self) -> ReadFault {
+        let u_reset = self.uniform();
+        let u_stall = self.uniform();
+        let u_sev = self.uniform();
+        self.trace.reads += 1;
+        if u_reset < self.config.reset {
+            self.trace.resets += 1;
+            ReadFault::Reset
+        } else if u_stall < self.config.stall_read {
+            self.trace.stalls += 1;
+            ReadFault::Stall(self.severity(u_sev))
+        } else {
+            ReadFault::None
+        }
+    }
+
+    /// Decides the fault (if any) for the next write of `len` bytes. Always
+    /// consumes exactly [`WRITE_DRAWS`] draws.
+    pub fn decide_write(&mut self, len: usize) -> WriteFault {
+        let u_reset = self.uniform();
+        let u_trunc = self.uniform();
+        let u_corrupt = self.uniform();
+        let u_delay = self.uniform();
+        let u_sev = self.uniform();
+        self.trace.writes += 1;
+        let span = len.max(1);
+        if u_reset < self.config.reset {
+            self.trace.resets += 1;
+            WriteFault::Reset
+        } else if u_trunc < self.config.truncate_write {
+            self.trace.truncated += 1;
+            WriteFault::Truncate((u_sev * span as f64) as usize % span)
+        } else if u_corrupt < self.config.corrupt_write {
+            self.trace.corrupted += 1;
+            WriteFault::Corrupt((u_sev * span as f64) as usize % span)
+        } else if u_delay < self.config.delay_write {
+            self.trace.delays += 1;
+            WriteFault::Delay(self.severity(u_sev))
+        } else {
+            WriteFault::None
+        }
+    }
+}
+
+/// A stable digest of the first `ops` decisions a plan with this seed and
+/// config would make (alternating read/write with a fixed chunk length, the
+/// canonical schedule shape). Purely a function of `(config, seed, ops)` —
+/// the chaos soak computes it twice and asserts equality to prove that a
+/// seed pins its fault trace.
+pub fn schedule_digest(config: FaultConfig, seed: u64, ops: usize) -> u64 {
+    let mut plan = FaultPlan::new(config, seed);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        digest ^= v;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for op in 0..ops {
+        if op % 2 == 0 {
+            mix(match plan.decide_read() {
+                ReadFault::None => 1,
+                ReadFault::Stall(d) => 2 ^ (d.as_micros() as u64) << 8,
+                ReadFault::Reset => 3,
+            });
+        } else {
+            mix(match plan.decide_write(4096) {
+                WriteFault::None => 11,
+                WriteFault::Delay(d) => 12 ^ (d.as_micros() as u64) << 8,
+                WriteFault::Corrupt(at) => 13 ^ (at as u64) << 8,
+                WriteFault::Truncate(keep) => 14 ^ (keep as u64) << 8,
+                WriteFault::Reset => 15,
+            });
+        }
+    }
+    digest
+}
+
+/// A shared, adjustable fault source for the *server* side: each accepted
+/// connection draws a fresh plan seeded `seed + connection_index` under the
+/// schedule's current config, so an escalating chaos run can turn the dial
+/// (`set`) between phases while the whole sequence stays reproducible from
+/// the base seed.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    config: std::sync::Mutex<FaultConfig>,
+    seed: u64,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+impl FaultSchedule {
+    /// A schedule starting with no faults.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            config: std::sync::Mutex::new(FaultConfig::off()),
+            seed,
+            counter: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the config used for connections accepted from now on.
+    pub fn set(&self, config: FaultConfig) {
+        *self.config.lock().unwrap_or_else(|p| p.into_inner()) = config;
+    }
+
+    /// The plan for the next accepted connection.
+    pub fn next_plan(&self) -> FaultPlan {
+        let config = *self.config.lock().unwrap_or_else(|p| p.into_inner());
+        let n = self.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        FaultPlan::new(config, self.seed.wrapping_add(n))
+    }
+}
+
+/// A `Read + Write` stream with a [`FaultPlan`] injected at the byte level.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    poisoned: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner`, injecting faults according to `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStream { inner, plan, poisoned: false }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// What the plan has injected so far.
+    pub fn trace(&self) -> FaultTrace {
+        self.plan.trace()
+    }
+
+    fn reset_err(&mut self) -> io::Error {
+        self.poisoned = true;
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.poisoned {
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "stream poisoned"));
+        }
+        match self.plan.decide_read() {
+            ReadFault::None => self.inner.read(buf),
+            ReadFault::Stall(d) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            ReadFault::Reset => Err(self.reset_err()),
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.poisoned {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "stream poisoned"));
+        }
+        match self.plan.decide_write(buf.len()) {
+            WriteFault::None => self.inner.write(buf),
+            WriteFault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            WriteFault::Corrupt(at) if !buf.is_empty() => {
+                // Flip one byte of a copy; the caller's `write_all` resumes
+                // from the original buffer, so exactly the delivered prefix
+                // carries the damage.
+                let mut mutated = buf.to_vec();
+                mutated[at % buf.len()] ^= 0x40;
+                self.inner.write(&mutated)
+            }
+            WriteFault::Corrupt(_) => self.inner.write(buf),
+            WriteFault::Truncate(keep) if !buf.is_empty() => {
+                let _ = self.inner.write(&buf[..keep % buf.len()]);
+                let _ = self.inner.flush();
+                Err(self.reset_err())
+            }
+            WriteFault::Truncate(_) => self.inner.write(buf),
+            WriteFault::Reset => Err(self.reset_err()),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "stream poisoned"));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn decisions(config: FaultConfig, seed: u64, n: usize) -> Vec<(ReadFault, WriteFault)> {
+        let mut plan = FaultPlan::new(config, seed);
+        (0..n).map(|_| (plan.decide_read(), plan.decide_write(1024))).collect()
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_trace() {
+        let a = decisions(FaultConfig::severe(), 42, 500);
+        let b = decisions(FaultConfig::severe(), 42, 500);
+        assert_eq!(a, b, "a seed must pin the decision sequence");
+        let c = decisions(FaultConfig::severe(), 43, 500);
+        assert_ne!(a, c, "different seeds must diverge");
+        assert_eq!(
+            schedule_digest(FaultConfig::severe(), 42, 1000),
+            schedule_digest(FaultConfig::severe(), 42, 1000),
+        );
+        assert_ne!(
+            schedule_digest(FaultConfig::severe(), 42, 1000),
+            schedule_digest(FaultConfig::severe(), 43, 1000),
+        );
+    }
+
+    #[test]
+    fn off_config_is_transparent() {
+        let plan = FaultPlan::new(FaultConfig::off(), 7);
+        let mut stream = FaultyStream::new(Cursor::new(Vec::new()), plan);
+        stream.write_all(b"hello").unwrap();
+        stream.flush().unwrap();
+        assert_eq!(stream.get_ref().get_ref(), b"hello");
+        assert_eq!(stream.trace().injected(), 0);
+        assert_eq!(stream.trace().writes, 1);
+    }
+
+    #[test]
+    fn severe_config_injects_every_fault_class() {
+        let mut plan = FaultPlan::new(FaultConfig::severe(), 9);
+        for _ in 0..2000 {
+            plan.decide_read();
+            plan.decide_write(1024);
+        }
+        let t = plan.trace();
+        assert!(t.resets > 0, "{t:?}");
+        assert!(t.truncated > 0, "{t:?}");
+        assert!(t.corrupted > 0, "{t:?}");
+        assert!(t.stalls > 0, "{t:?}");
+        assert!(t.delays > 0, "{t:?}");
+        // Severe ≈ 10% of ops: sanity-bound the injection rate.
+        let rate = t.injected() as f64 / (t.reads + t.writes) as f64;
+        assert!((0.03..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn poisoned_streams_stay_dead() {
+        // A config that always resets.
+        let config = FaultConfig { reset: 1.0, ..FaultConfig::off() };
+        let mut stream = FaultyStream::new(Cursor::new(Vec::new()), FaultPlan::new(config, 1));
+        assert_eq!(
+            stream.write(b"x").unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset,
+            "first op resets"
+        );
+        assert_eq!(
+            stream.write(b"x").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe,
+            "later ops see the poisoned stream"
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(stream.read(&mut buf).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let config = FaultConfig { corrupt_write: 1.0, ..FaultConfig::off() };
+        let mut stream = FaultyStream::new(Cursor::new(Vec::new()), FaultPlan::new(config, 5));
+        stream.write_all(b"abcdef").unwrap();
+        let written = stream.get_ref().get_ref();
+        let diffs = written.iter().zip(b"abcdef").filter(|(a, b)| a != b).count();
+        assert_eq!(written.len(), 6);
+        assert_eq!(diffs, 1, "exactly one byte flipped, got {written:?}");
+    }
+}

@@ -16,17 +16,27 @@
 //!   sustained qps and p50/p99 latency at several concurrency levels,
 //!   against both a coalescing and a non-coalescing daemon, and writes the
 //!   comparison to `BENCH_serve.json`.
+//! * **`paradl-chaos`** — a chaos soak: N retrying clients against a
+//!   daemon under an escalating, seeded fault schedule ([`fault`]),
+//!   asserting the daemon survives, every success stays byte-identical to
+//!   the local oracle, and availability clears a floor. Results go to
+//!   `BENCH_chaos.json`.
 //!
-//! The wire protocol ([`proto`]) is deliberately boring: 4-byte big-endian
-//! length prefix, JSON payload rendered by `paradl_core::jsonio` — the same
-//! emitter the golden fixtures use, so a served answer is *byte-identical*
-//! to `QueryAnswer::to_json().render()` computed locally. That property is
-//! what the integration tests pin.
+//! The wire protocol ([`proto`]) is deliberately boring: 12-byte header
+//! (4-byte big-endian length + 8-byte FNV-1a payload checksum), JSON
+//! payload rendered by `paradl_core::jsonio` — the same emitter the golden
+//! fixtures use, so a served answer is *byte-identical* to
+//! `QueryAnswer::to_json().render()` computed locally. That property is
+//! what the integration tests pin, and the checksum keeps it true even on
+//! a byte-flipping transport: corruption becomes a detected, retryable
+//! transport error ([`retry`]), never a silently different answer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod proto;
 pub mod resolve;
+pub mod retry;
 pub mod server;

@@ -1,14 +1,22 @@
-//! The wire protocol: length-prefixed JSON frames carrying unified queries.
+//! The wire protocol: length-prefixed, checksummed JSON frames carrying
+//! unified queries.
 //!
-//! A frame is a 4-byte big-endian `u32` payload length followed by that many
-//! bytes of UTF-8 JSON (rendered compactly by `paradl_core::jsonio`). The
-//! request schema is a thin envelope around [`Query::to_json`]; the response
-//! envelope carries the [`paradl_core::query::QueryAnswer`] JSON verbatim,
-//! which is what makes served answers byte-comparable to local ones.
+//! A frame is a 12-byte header — a 4-byte big-endian `u32` payload length
+//! followed by an 8-byte big-endian FNV-1a checksum of the payload — then
+//! that many bytes of UTF-8 JSON (rendered compactly by
+//! `paradl_core::jsonio`). The checksum is what turns in-flight byte
+//! corruption into a *detected* transport error (connection dropped, client
+//! retries) instead of a silently different answer; the chaos suite's
+//! zero-corruption floor rests on it. The request schema is a thin envelope
+//! around [`Query::to_json`]; the response envelope carries the
+//! [`paradl_core::query::QueryAnswer`] JSON verbatim, which is what makes
+//! served answers byte-comparable to local ones.
 //!
 //! Everything on the daemon's input path returns `Result` rather than
 //! panicking: a malformed frame costs the sender an error response (or, for
-//! framing-level damage, the connection), never the daemon.
+//! framing-level damage, the connection), never the daemon. Error responses
+//! carry an [`ErrorKind`] so clients can tell retryable transport damage
+//! from fatal request problems.
 
 use paradl_core::jsonio::Json;
 use paradl_core::model::Model;
@@ -19,6 +27,19 @@ use std::io::{self, Read, Write};
 /// answer over a large budget can be big, but nothing legitimate approaches
 /// this; length prefixes above it are treated as protocol damage.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Size of the frame header: 4-byte length + 8-byte payload checksum.
+pub const HEADER_LEN: usize = 12;
+
+/// FNV-1a 64-bit hash of `bytes` — the frame payload checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// The outcome of one [`read_frame`] attempt on a polled stream.
 #[derive(Debug)]
@@ -42,7 +63,7 @@ fn read_full(
     r: &mut impl Read,
     buf: &mut [u8],
     idle_ok: bool,
-    keep_going: &impl Fn() -> bool,
+    keep_going: &mut impl FnMut() -> bool,
 ) -> io::Result<ReadFull> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -80,20 +101,22 @@ fn read_full(
 ///
 /// A timeout before the first header byte returns [`FrameRead::Idle`] (the
 /// stream is untouched); a timeout *mid-frame* retries as long as
-/// `keep_going()` holds, then errors. A length prefix above `max` is an
-/// `InvalidData` error — the stream cannot be resynchronized after it.
+/// `keep_going()` holds, then errors. A length prefix above `max`, or a
+/// payload whose checksum does not match the header, is an `InvalidData`
+/// error — the stream cannot be resynchronized after either.
 pub fn read_frame(
     r: &mut impl Read,
     max: usize,
-    keep_going: impl Fn() -> bool,
+    mut keep_going: impl FnMut() -> bool,
 ) -> io::Result<FrameRead> {
-    let mut header = [0u8; 4];
-    match read_full(r, &mut header, true, &keep_going)? {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(r, &mut header, true, &mut keep_going)? {
         ReadFull::Done => {}
         ReadFull::IdleAtStart => return Ok(FrameRead::Idle),
         ReadFull::EofAtStart => return Ok(FrameRead::Eof),
     }
-    let len = u32::from_be_bytes(header) as usize;
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let expected = u64::from_be_bytes(header[4..].try_into().expect("8-byte slice"));
     if len > max {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -101,7 +124,14 @@ pub fn read_frame(
         ));
     }
     let mut payload = vec![0u8; len];
-    read_full(r, &mut payload, false, &keep_going)?;
+    read_full(r, &mut payload, false, &mut keep_going)?;
+    let actual = checksum(&payload);
+    if actual != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch (header {expected:#018x}, payload {actual:#018x})"),
+        ));
+    }
     Ok(FrameRead::Frame(payload))
 }
 
@@ -115,7 +145,10 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8], max: usize) -> io::Result
             format!("frame of {} bytes exceeds the {max}-byte cap", payload.len()),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[4..].copy_from_slice(&checksum(payload).to_be_bytes());
+    w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -239,6 +272,54 @@ impl AnswerStats {
     }
 }
 
+/// What class of failure an error response describes. The split that
+/// matters operationally is [`ErrorKind::retryable`]: `Protocol` means the
+/// *bytes* were damaged (the transport likely mangled an otherwise-fine
+/// request, and nothing was evaluated), so resending is safe and likely to
+/// succeed; everything else means the request itself is the problem and a
+/// retry would only repeat the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame payload didn't decode (non-UTF-8, malformed JSON, bad
+    /// envelope). Nothing was evaluated; a resend is idempotent.
+    Protocol,
+    /// The request decoded but is unanswerable (unknown op or model,
+    /// invalid config or cluster). Retrying the same request cannot help.
+    BadRequest,
+    /// The answer exceeded the frame cap. Deterministic; not retryable.
+    TooLarge,
+    /// Evaluation failed inside the server (a contained panic, a dropped
+    /// reply channel). The request is quarantined; not retryable, because
+    /// the same input would panic again.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Whether a client may safely resend the identical request.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorKind::Protocol)
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn parse(s: &str) -> Result<ErrorKind, String> {
+        match s {
+            "protocol" => Ok(ErrorKind::Protocol),
+            "bad_request" => Ok(ErrorKind::BadRequest),
+            "too_large" => Ok(ErrorKind::TooLarge),
+            "internal" => Ok(ErrorKind::Internal),
+            other => Err(format!("unknown error kind {other:?}")),
+        }
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -251,9 +332,14 @@ pub enum Response {
         /// How the answer was produced.
         stats: AnswerStats,
     },
-    /// The request was understood but could not be answered (unknown model,
-    /// invalid config, …) — or not understood at all (malformed JSON).
-    Error(String),
+    /// The request could not be answered; `kind` says whether the fault was
+    /// in the bytes (retryable) or the request (fatal).
+    Error {
+        /// Failure class — drives the client's retry decision.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
     /// The bounded queue was full; the request was not evaluated. Back off
     /// and retry.
     Shed,
@@ -269,6 +355,22 @@ pub enum Response {
 }
 
 impl Response {
+    /// Shorthand for an error response.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error { kind, message: message.into() }
+    }
+
+    /// Whether a client may safely resend the identical request after this
+    /// response: queue shed and deadline expiry never evaluated anything,
+    /// and protocol errors mean the bytes (not the request) were bad.
+    pub fn retryable(&self) -> bool {
+        match self {
+            Response::Shed | Response::DeadlineExpired => true,
+            Response::Error { kind, .. } => kind.retryable(),
+            _ => false,
+        }
+    }
+
     /// Serializes the response envelope.
     pub fn to_json(&self) -> Json {
         match self {
@@ -277,9 +379,11 @@ impl Response {
                 ("answer", answer.clone()),
                 ("stats", stats.to_json()),
             ]),
-            Response::Error(message) => {
-                Json::obj([("status", Json::str("error")), ("message", Json::str(message))])
-            }
+            Response::Error { kind, message } => Json::obj([
+                ("status", Json::str("error")),
+                ("kind", Json::str(kind.as_str())),
+                ("message", Json::str(message)),
+            ]),
             Response::Shed => Json::obj([("status", Json::str("shed"))]),
             Response::DeadlineExpired => Json::obj([("status", Json::str("deadline"))]),
             Response::ShuttingDown => Json::obj([("status", Json::str("shutting_down"))]),
@@ -299,12 +403,16 @@ impl Response {
                     json.get("stats").ok_or("ok response missing stats")?,
                 )?,
             }),
-            Some("error") => Ok(Response::Error(
-                json.get("message")
+            Some("error") => Ok(Response::Error {
+                kind: ErrorKind::parse(
+                    json.get("kind").and_then(Json::string).ok_or("error response missing kind")?,
+                )?,
+                message: json
+                    .get("message")
                     .and_then(Json::string)
                     .ok_or("error response missing message")?
                     .to_string(),
-            )),
+            }),
             Some("shed") => Ok(Response::Shed),
             Some("deadline") => Ok(Response::DeadlineExpired),
             Some("shutting_down") => Ok(Response::ShuttingDown),
@@ -347,9 +455,10 @@ mod tests {
 
     #[test]
     fn oversized_and_truncated_frames_error() {
-        // Oversized length prefix.
+        // Oversized length prefix (full 12-byte header).
         let mut buf = Vec::new();
         buf.extend_from_slice(&(1024u32).to_be_bytes());
+        buf.extend_from_slice(&0u64.to_be_bytes());
         buf.extend_from_slice(b"short");
         let mut r = Cursor::new(buf.clone());
         let err = read_frame(&mut r, 16, || true).unwrap_err();
@@ -362,6 +471,32 @@ mod tests {
         let mut out = Vec::new();
         assert!(write_frame(&mut out, &[0u8; 32], 16).is_err());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_the_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"an important payload", MAX_FRAME).unwrap();
+        // Flip one payload byte: the checksum in the header no longer
+        // matches, so the read must fail with InvalidData — this is the
+        // property that turns in-flight corruption into a retryable
+        // transport error instead of a silently different answer.
+        for at in HEADER_LEN..buf.len() {
+            let mut damaged = buf.clone();
+            damaged[at] ^= 0x01;
+            let err = read_frame(&mut Cursor::new(damaged), MAX_FRAME, || true).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {at}");
+        }
+        // A flipped checksum byte is equally fatal.
+        let mut damaged = buf.clone();
+        damaged[7] ^= 0x80;
+        let err = read_frame(&mut Cursor::new(damaged), MAX_FRAME, || true).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The pristine frame still reads fine.
+        match read_frame(&mut Cursor::new(buf), MAX_FRAME, || true).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"an important payload"),
+            other => panic!("expected frame, got {other:?}"),
+        }
     }
 
     fn sample_query() -> Query {
@@ -400,7 +535,10 @@ mod tests {
         };
         for response in [
             Response::Answer { answer: Json::obj([("kind", Json::str("ranked"))]), stats },
-            Response::Error("nope".to_string()),
+            Response::error(ErrorKind::Protocol, "mangled"),
+            Response::error(ErrorKind::BadRequest, "nope"),
+            Response::error(ErrorKind::TooLarge, "answer over the frame cap"),
+            Response::error(ErrorKind::Internal, "evaluation panicked"),
             Response::Shed,
             Response::DeadlineExpired,
             Response::ShuttingDown,
@@ -412,5 +550,17 @@ mod tests {
             assert_eq!(back, response);
         }
         assert!(Response::from_json(&Json::parse(r#"{"status":"??"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn only_transport_level_outcomes_are_retryable() {
+        assert!(Response::Shed.retryable());
+        assert!(Response::DeadlineExpired.retryable());
+        assert!(Response::error(ErrorKind::Protocol, "x").retryable());
+        assert!(!Response::error(ErrorKind::BadRequest, "x").retryable());
+        assert!(!Response::error(ErrorKind::TooLarge, "x").retryable());
+        assert!(!Response::error(ErrorKind::Internal, "x").retryable());
+        assert!(!Response::ShuttingDown.retryable());
+        assert!(!Response::Pong.retryable());
     }
 }

@@ -38,18 +38,35 @@
 //! ## Robustness
 //!
 //! * Malformed JSON, unknown ops, unknown models, invalid configs: error
-//!   *response*, connection lives, daemon lives.
-//! * Oversized or truncated frames: the connection is dropped (the stream
-//!   cannot be resynchronized), the daemon lives.
+//!   *response* (with an [`ErrorKind`] saying whether a retry can help),
+//!   connection lives, daemon lives.
+//! * Oversized, truncated, or checksum-damaged frames: the connection is
+//!   dropped (the stream cannot be resynchronized), the daemon lives.
 //! * Full queue: [`Response::Shed`] without evaluation (backpressure).
 //! * Expired deadline at dequeue: [`Response::DeadlineExpired`] without
 //!   evaluation.
+//! * Slow clients: a connection that stalls mid-frame past
+//!   [`ServerConfig::read_timeout`], or whose socket refuses writes past
+//!   [`ServerConfig::write_timeout`], is **evicted** — its thread exits and
+//!   the `evictions` counter ticks. A slow-loris peer costs one thread for
+//!   one timeout, not forever.
+//! * Panics during query evaluation are **contained** with `catch_unwind`:
+//!   the offending request is quarantined to an [`ErrorKind::Internal`]
+//!   error response and the batcher keeps serving. Should a panic escape
+//!   the containment (e.g. in batching code itself), a supervisor restarts
+//!   the batcher thread (`batcher_restarts` counter) and the in-flight
+//!   requests whose replies were dropped surface as `Internal` errors on
+//!   their connections — never as hangs.
 //! * Graceful shutdown (local call or remote `shutdown` op): new queries
 //!   are refused with [`Response::ShuttingDown`], everything already queued
 //!   is drained and answered, then threads exit and the socket is removed.
+//! * Stale unix sockets: the bind path is connect-probed first, so a
+//!   leftover socket file from a dead daemon is reclaimed but a *live*
+//!   daemon's socket is never stolen (`AddrInUse` instead).
 
 use crate::client::Stream;
-use crate::proto::{self, AnswerStats, FrameRead, Request, Response, MAX_FRAME};
+use crate::fault::FaultSchedule;
+use crate::proto::{self, AnswerStats, ErrorKind, FrameRead, Request, Response, MAX_FRAME};
 use crate::resolve::resolve_model;
 use paradl_core::cluster::ClusterCache;
 use paradl_core::engine::{cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache};
@@ -60,7 +77,8 @@ use paradl_core::query::{Query, QueryAnswer, QueryMode};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::TcpListener;
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -86,8 +104,24 @@ impl std::fmt::Display for Bind {
     }
 }
 
+/// Where in the batcher an [`EvalHook`] is being invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalStage {
+    /// In batching code, *outside* the per-query panic containment — a
+    /// panic here exercises the batcher supervisor.
+    Batch,
+    /// Inside the per-query `catch_unwind` — a panic here exercises
+    /// quarantine-to-`Error` containment.
+    Eval,
+}
+
+/// A test hook called for every query the batcher touches. Chaos tests use
+/// it to inject panics at a chosen stage; production servers leave it
+/// unset.
+pub type EvalHook = Arc<dyn Fn(&Query, EvalStage) + Send + Sync>;
+
 /// Tunables for a [`Server`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Merge concurrent ranked queries into shared grid sweeps and reuse
     /// cached engine cores. Off = the per-request baseline the load
@@ -102,6 +136,35 @@ pub struct ServerConfig {
     pub linger: Duration,
     /// Per-frame payload cap in bytes.
     pub max_frame: usize,
+    /// How long a connection may stall *mid-frame* before it is evicted.
+    /// (Idle time between frames is unlimited; only a half-sent frame
+    /// holds protocol state hostage.)
+    pub read_timeout: Duration,
+    /// Socket-level write timeout; a peer that won't drain its receive
+    /// buffer for this long is evicted.
+    pub write_timeout: Duration,
+    /// Server-side fault injection: every accepted connection is wrapped
+    /// in a plan drawn from this schedule. `None` (production) leaves the
+    /// streams untouched.
+    pub faults: Option<Arc<FaultSchedule>>,
+    /// Test hook invoked per query at each [`EvalStage`].
+    pub eval_hook: Option<EvalHook>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("coalesce", &self.coalesce)
+            .field("cache_entries", &self.cache_entries)
+            .field("queue_cap", &self.queue_cap)
+            .field("linger", &self.linger)
+            .field("max_frame", &self.max_frame)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("faults", &self.faults)
+            .field("eval_hook", &self.eval_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -112,6 +175,10 @@ impl Default for ServerConfig {
             queue_cap: 1024,
             linger: Duration::from_millis(1),
             max_frame: MAX_FRAME,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            faults: None,
+            eval_hook: None,
         }
     }
 }
@@ -125,6 +192,9 @@ struct Counters {
     deadline_expired: AtomicU64,
     connections: AtomicU64,
     coalesced_groups: AtomicU64,
+    evictions: AtomicU64,
+    panics_contained: AtomicU64,
+    batcher_restarts: AtomicU64,
 }
 
 struct Shared {
@@ -149,6 +219,9 @@ impl Shared {
             ("deadline_expired", Json::count(c.deadline_expired.load(Ordering::Relaxed) as usize)),
             ("connections", Json::count(c.connections.load(Ordering::Relaxed) as usize)),
             ("coalesced_groups", Json::count(c.coalesced_groups.load(Ordering::Relaxed) as usize)),
+            ("evictions", Json::count(c.evictions.load(Ordering::Relaxed) as usize)),
+            ("panics_contained", Json::count(c.panics_contained.load(Ordering::Relaxed) as usize)),
+            ("batcher_restarts", Json::count(c.batcher_restarts.load(Ordering::Relaxed) as usize)),
             (
                 "engine_cache",
                 Json::obj([
@@ -198,8 +271,24 @@ impl Server {
     pub fn start(bind: Bind, config: ServerConfig) -> io::Result<Server> {
         let (listener, bound) = match &bind {
             Bind::Unix(path) => {
-                // A stale socket file from a dead daemon would fail the bind.
-                let _ = std::fs::remove_file(path);
+                // A stale socket file from a dead daemon would fail the
+                // bind — but only reclaim the path after a connect-probe
+                // proves nothing is listening, so two daemons can't
+                // silently steal each other's socket.
+                if path.exists() {
+                    match UnixStream::connect(path) {
+                        Ok(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("a daemon is already listening on {}", path.display()),
+                            ));
+                        }
+                        Err(_) => {
+                            // Dead socket (refused/ENOENT race): reclaim it.
+                            let _ = std::fs::remove_file(path);
+                        }
+                    }
+                }
                 let l = UnixListener::bind(path)?;
                 l.set_nonblocking(true)?;
                 (Listener::Unix(l), bind.clone())
@@ -221,9 +310,22 @@ impl Server {
         });
         let (tx, rx) = mpsc::sync_channel::<Pending>(queue_cap);
 
+        // The batcher runs under a supervisor: a panic that escapes the
+        // per-query containment (injected via the Batch-stage hook, or a
+        // genuine bug in batching code) restarts the loop instead of
+        // leaving every future query to hang on a dead channel. Requests
+        // whose replies died with the old incarnation surface as Internal
+        // errors on their connection threads.
         let batcher = {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || batcher_loop(rx, &shared))
+            thread::spawn(move || loop {
+                match catch_unwind(AssertUnwindSafe(|| batcher_loop(&rx, &shared))) {
+                    Ok(()) => break,
+                    Err(_) => {
+                        shared.counters.batcher_restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -287,8 +389,16 @@ fn accept_loop(
             Ok(stream) => {
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                 // Connection reads poll at this granularity so the thread
-                // notices shutdown without a wakeup mechanism.
+                // notices shutdown (and mid-frame stalls) without a wakeup
+                // mechanism.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                // Server-side chaos: wrap the accepted stream in the next
+                // plan off the schedule.
+                let stream = match &shared.config.faults {
+                    Some(schedule) => stream.with_faults(schedule.next_plan()),
+                    None => stream,
+                };
                 let tx = tx.clone();
                 let shared = Arc::clone(shared);
                 connections.push(thread::spawn(move || connection_loop(stream, tx, &shared)));
@@ -309,7 +419,25 @@ fn accept_loop(
 
 fn connection_loop(mut stream: Stream, tx: SyncSender<Pending>, shared: &Arc<Shared>) {
     loop {
-        match proto::read_frame(&mut stream, shared.config.max_frame, || !shared.is_shutdown()) {
+        // Mid-frame stall tracking: `read_frame` calls `keep_going` every
+        // time a read times out *inside* a frame. The first such callback
+        // starts the eviction clock; exceeding `read_timeout` evicts the
+        // connection (a slow-loris peer holds protocol state hostage, idle
+        // peers between frames cost nothing and are never evicted).
+        let mut stall_started: Option<Instant> = None;
+        let mut evicted = false;
+        let keep_going = || {
+            if shared.is_shutdown() {
+                return false;
+            }
+            let started = *stall_started.get_or_insert_with(Instant::now);
+            if started.elapsed() >= shared.config.read_timeout {
+                evicted = true;
+                return false;
+            }
+            true
+        };
+        match proto::read_frame(&mut stream, shared.config.max_frame, keep_going) {
             Ok(FrameRead::Idle) => {
                 if shared.is_shutdown() {
                     return;
@@ -326,8 +454,10 @@ fn connection_loop(mut stream: Stream, tx: SyncSender<Pending>, shared: &Arc<Sha
                         // written (the cap is checked up front), so the
                         // stream is still synchronized: substitute an error
                         // response and keep the connection.
-                        let fallback =
-                            Response::Error("response exceeds the frame size cap".to_string());
+                        let fallback = Response::error(
+                            ErrorKind::TooLarge,
+                            "response exceeds the frame size cap",
+                        );
                         if proto::write_frame(
                             &mut stream,
                             fallback.to_json().render().as_bytes(),
@@ -338,13 +468,23 @@ fn connection_loop(mut stream: Stream, tx: SyncSender<Pending>, shared: &Arc<Sha
                             return;
                         }
                     }
-                    Err(_) => return,
+                    Err(e) => {
+                        // A peer that won't drain its receive buffer hits
+                        // the socket write timeout: that's an eviction, not
+                        // a clean hangup.
+                        if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                            shared.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Oversized length prefix: the stream cannot be resynced.
-                // Tell the peer why, then hang up. The daemon lives on.
-                let response = Response::Error(format!("protocol error: {e}"));
+                // Oversized length prefix or checksum-damaged payload: the
+                // stream cannot be resynced. Tell the peer why (the error
+                // is retryable — the *bytes* were bad, not the request),
+                // then hang up. The daemon lives on.
+                let response = Response::error(ErrorKind::Protocol, format!("protocol error: {e}"));
                 let _ = proto::write_frame(
                     &mut stream,
                     response.to_json().render().as_bytes(),
@@ -352,7 +492,12 @@ fn connection_loop(mut stream: Stream, tx: SyncSender<Pending>, shared: &Arc<Sha
                 );
                 return;
             }
-            Err(_) => return,
+            Err(_) => {
+                if evicted {
+                    shared.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
         }
     }
 }
@@ -362,21 +507,23 @@ fn handle_frame(payload: &[u8], tx: &SyncSender<Pending>, shared: &Arc<Shared>) 
         Ok(t) => t,
         Err(_) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return Response::Error("frame payload is not UTF-8".to_string());
+            return Response::error(ErrorKind::Protocol, "frame payload is not UTF-8");
         }
     };
     let json = match Json::parse(text) {
         Ok(j) => j,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return Response::Error(format!("malformed JSON: {e}"));
+            return Response::error(ErrorKind::Protocol, format!("malformed JSON: {e}"));
         }
     };
+    // Past this point the bytes decoded fine (the checksum already vouched
+    // for them in transit), so remaining failures are the *request's* fault.
     let request = match Request::from_json(&json, &resolve_model) {
         Ok(r) => r,
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return Response::Error(e);
+            return Response::error(ErrorKind::BadRequest, e);
         }
     };
     match request {
@@ -399,11 +546,11 @@ fn enqueue_query(
     // Reject what the oracle would reject, before it costs queue space.
     if query.model.is_none() || query.config.is_none() || query.cluster.is_none() {
         shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::Error("query workload is incomplete".to_string());
+        return Response::error(ErrorKind::BadRequest, "query workload is incomplete");
     }
     if let Err(e) = query.config.expect("checked above").validate() {
         shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::Error(format!("invalid config: {e}"));
+        return Response::error(ErrorKind::BadRequest, format!("invalid config: {e}"));
     }
     if shared.is_shutdown() {
         return Response::ShuttingDown;
@@ -419,7 +566,17 @@ fn enqueue_query(
     match tx.try_send(pending) {
         Ok(()) => match reply_rx.recv() {
             Ok(response) => response,
-            Err(_) => Response::ShuttingDown,
+            // The reply sender died without answering: either a graceful
+            // shutdown, or the batcher incarnation holding our Pending
+            // panicked and the supervisor restarted it. Report which.
+            Err(_) if shared.is_shutdown() => Response::ShuttingDown,
+            Err(_) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    ErrorKind::Internal,
+                    "evaluation aborted by a server fault; the request was quarantined",
+                )
+            }
         },
         Err(TrySendError::Full(_)) => {
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
@@ -433,7 +590,7 @@ fn enqueue_query(
 // The batcher.
 // ---------------------------------------------------------------------------
 
-fn batcher_loop(rx: Receiver<Pending>, shared: &Arc<Shared>) {
+fn batcher_loop(rx: &Receiver<Pending>, shared: &Arc<Shared>) {
     let sweep = GridSweep::new();
     loop {
         let first = match rx.recv_timeout(Duration::from_millis(50)) {
@@ -474,6 +631,11 @@ fn process_batch(batch: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shared>) {
                 continue;
             }
         }
+        // Batch-stage hook: deliberately OUTSIDE the per-query containment,
+        // so a panic injected here escapes to the batcher supervisor.
+        if let Some(hook) = &shared.config.eval_hook {
+            hook(&p.query, EvalStage::Batch);
+        }
         if !shared.config.coalesce {
             answer_uncoalesced(p, shared);
             continue;
@@ -512,13 +674,50 @@ fn group_key(query: &Query) -> String {
     )
 }
 
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs `eval` (preceded by the Eval-stage hook) under `catch_unwind`: a
+/// panicking query is quarantined to an `Internal` error response instead
+/// of killing the batcher. Sound under `forbid(unsafe_code)` — the only
+/// state shared across the boundary is the engine cache, whose mutexes are
+/// poison-recovered.
+fn run_contained<T>(
+    query: &Query,
+    shared: &Arc<Shared>,
+    eval: impl FnOnce() -> T,
+) -> Result<T, Response> {
+    let hook = shared.config.eval_hook.clone();
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some(hook) = &hook {
+            hook(query, EvalStage::Eval);
+        }
+        eval()
+    }))
+    .map_err(|payload| {
+        shared.counters.panics_contained.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        Response::error(
+            ErrorKind::Internal,
+            format!("evaluation panicked (quarantined): {}", panic_message(payload)),
+        )
+    })
+}
+
 /// Baseline path (coalescing off): evaluate the query from scratch, exactly
 /// like a standalone `Query::run`.
 fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
     let queue_us = p.enqueued.elapsed().as_micros() as u64;
     let start = Instant::now();
-    let response = match p.query.run() {
-        Ok(answer) => {
+    let response = match run_contained(&p.query, shared, || p.query.run()) {
+        Ok(Ok(answer)) => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             Response::Answer {
                 answer: answer.to_json(),
@@ -531,10 +730,11 @@ fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
                 },
             }
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            Response::Error(e)
+            Response::error(ErrorKind::BadRequest, e)
         }
+        Err(quarantined) => quarantined,
     };
     let _ = p.reply.send(response);
 }
@@ -545,32 +745,41 @@ fn answer_single(p: Pending, shared: &Arc<Shared>) {
     let queue_us = p.enqueued.elapsed().as_micros() as u64;
     let start = Instant::now();
     let query = &p.query;
-    let model = query.model.as_ref().expect("validated at enqueue");
-    let cluster = query.cluster.as_ref().expect("validated at enqueue");
-    let config = query.config.expect("validated at enqueue");
 
-    let key = engine_fingerprint(model, cluster, &config);
-    let cache_hit = shared.cache.contains_core(key);
-    let topology =
-        shared.cache.cluster(cluster_fingerprint(cluster), || Arc::new(ClusterCache::new(cluster)));
-    let core = shared.cache.core(key, || {
-        CostEngine::with_cache(model, &cluster.device, cluster, config, &topology).core_handle()
+    let outcome = run_contained(query, shared, || {
+        let model = query.model.as_ref().expect("validated at enqueue");
+        let cluster = query.cluster.as_ref().expect("validated at enqueue");
+        let config = query.config.expect("validated at enqueue");
+        let key = engine_fingerprint(model, cluster, &config);
+        let cache_hit = shared.cache.contains_core(key);
+        let topology = shared
+            .cache
+            .cluster(cluster_fingerprint(cluster), || Arc::new(ClusterCache::new(cluster)));
+        let core = shared.cache.core(key, || {
+            CostEngine::with_cache(model, &cluster.device, cluster, config, &topology).core_handle()
+        });
+        let engine = CostEngine::from_core(model, cluster, config, core);
+        let oracle = Oracle::new(model, &cluster.device, cluster, config);
+        (oracle.answer_with_engine(&engine, query), cache_hit)
     });
-    let engine = CostEngine::from_core(model, cluster, config, core);
-    let oracle = Oracle::new(model, &cluster.device, cluster, config);
-    let answer = oracle.answer_with_engine(&engine, query);
 
-    shared.counters.served.fetch_add(1, Ordering::Relaxed);
-    let _ = p.reply.send(Response::Answer {
-        answer: answer.to_json(),
-        stats: AnswerStats {
-            cache_hit,
-            coalesced: 1,
-            batch_cells: 1,
-            queue_us,
-            eval_us: start.elapsed().as_micros() as u64,
-        },
-    });
+    let response = match outcome {
+        Ok((answer, cache_hit)) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            Response::Answer {
+                answer: answer.to_json(),
+                stats: AnswerStats {
+                    cache_hit,
+                    coalesced: 1,
+                    batch_cells: 1,
+                    queue_us,
+                    eval_us: start.elapsed().as_micros() as u64,
+                },
+            }
+        }
+        Err(quarantined) => quarantined,
+    };
+    let _ = p.reply.send(response);
 }
 
 /// Ranked path: one shared grid sweep answers the whole group.
@@ -598,7 +807,18 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
     let batch_cells = grid.num_queries();
 
     let start = Instant::now();
-    let report = sweep.run_cached(&grid, &shared.cache);
+    let report = match run_contained(&lead.query, shared, || sweep.run_cached(&grid, &shared.cache))
+    {
+        Ok(report) => report,
+        Err(quarantined) => {
+            // The shared sweep panicked: every query in the group is
+            // quarantined (they share the poisoned evaluation).
+            for p in group {
+                let _ = p.reply.send(quarantined.clone());
+            }
+            return;
+        }
+    };
     let eval_us = start.elapsed().as_micros() as u64;
 
     for p in group {

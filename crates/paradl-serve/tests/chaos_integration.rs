@@ -1,0 +1,221 @@
+//! Robustness tests of the hardened daemon: panic containment, batcher
+//! supervision, slow-client eviction, stale-socket probing, and retrying
+//! clients driving a genuinely faulty transport.
+
+use paradl_core::cluster::ClusterSpec;
+use paradl_core::config::TrainingConfig;
+use paradl_core::oracle::Constraints;
+use paradl_core::query::{Query, QueryMode};
+use paradl_serve::client::Connection;
+use paradl_serve::fault::FaultConfig;
+use paradl_serve::proto::{ErrorKind, Request, Response};
+use paradl_serve::retry::{RetryPolicy, RetryingClient};
+use paradl_serve::server::{Bind, EvalStage, Server, ServerConfig};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_socket() -> (Bind, PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "paradl-chaos-test-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    (Bind::Unix(path.clone()), path)
+}
+
+fn query(mode: QueryMode, batch: usize) -> Query {
+    Query::default()
+        .with_model(paradl_models::alexnet())
+        .with_config(TrainingConfig::imagenet(batch))
+        .with_cluster(ClusterSpec::workstation(8))
+        .with_constraints(Constraints { max_pes: 256, ..Constraints::default() })
+        .with_mode(mode)
+}
+
+/// The marker batch size the injected hooks panic on.
+const POISON_BATCH: usize = 333;
+
+fn is_poison(q: &Query) -> bool {
+    q.config.map(|c| c.batch_size) == Some(POISON_BATCH)
+}
+
+fn stat(server: &Response, key: &str) -> usize {
+    match server {
+        Response::ServerStats(json) => json.get(key).and_then(|j| j.usize()).unwrap_or(0),
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_request_is_quarantined_and_the_batcher_survives() {
+    let (bind, _path) = temp_socket();
+    // Panic *inside* the per-query containment: the offending request gets
+    // an Error response, everything else is untouched.
+    let config = ServerConfig {
+        eval_hook: Some(Arc::new(|q: &Query, stage: EvalStage| {
+            if stage == EvalStage::Eval && is_poison(q) {
+                panic!("injected evaluation panic");
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(bind.clone(), config).unwrap();
+    let mut connection = Connection::connect(&bind).unwrap();
+
+    match connection.query(&query(QueryMode::TopK(3), POISON_BATCH), None).unwrap() {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Internal, "a panic is the server's fault, not the bytes'");
+            assert!(message.contains("quarantined"), "{message}");
+        }
+        other => panic!("poisoned request should error, got {other:?}"),
+    }
+
+    // The very next query on the same connection is answered, byte-exact.
+    let q = query(QueryMode::TopK(3), 256);
+    match connection.query(&q, None).unwrap() {
+        Response::Answer { answer, .. } => {
+            assert_eq!(answer.render(), q.run().unwrap().to_json().render());
+        }
+        other => panic!("expected an answer, got {other:?}"),
+    }
+
+    // Containment inside the catch_unwind never killed the batcher thread.
+    let stats = connection.roundtrip(&Request::Stats).unwrap();
+    assert!(stat(&stats, "panics_contained") >= 1);
+    assert_eq!(stat(&stats, "batcher_restarts"), 0, "Eval-stage panics must not cost a restart");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn batcher_panic_is_supervised_and_restarted() {
+    let (bind, _path) = temp_socket();
+    // Panic in the batching code, *outside* containment: the batcher thread
+    // dies and the supervisor must bring it back.
+    let config = ServerConfig {
+        eval_hook: Some(Arc::new(|q: &Query, stage: EvalStage| {
+            if stage == EvalStage::Batch && is_poison(q) {
+                panic!("injected batcher panic");
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(bind.clone(), config).unwrap();
+    let mut connection = Connection::connect(&bind).unwrap();
+
+    // The poisoned request's reply channel is dropped by the dying batcher,
+    // which the connection reports as an aborted (quarantined) evaluation.
+    match connection.query(&query(QueryMode::TopK(3), POISON_BATCH), None).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Internal),
+        other => panic!("poisoned request should error, got {other:?}"),
+    }
+
+    // The supervisor restarts the loop; subsequent queries are served.
+    let q = query(QueryMode::TopK(3), 256);
+    match connection.query(&q, None).unwrap() {
+        Response::Answer { answer, .. } => {
+            assert_eq!(answer.render(), q.run().unwrap().to_json().render());
+        }
+        other => panic!("expected an answer after the restart, got {other:?}"),
+    }
+
+    let stats = connection.roundtrip(&Request::Stats).unwrap();
+    assert!(stat(&stats, "batcher_restarts") >= 1, "the supervisor should have restarted");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn slow_clients_are_evicted_without_harming_the_daemon() {
+    let (bind, path) = temp_socket();
+    let config =
+        ServerConfig { read_timeout: Duration::from_millis(100), ..ServerConfig::default() };
+    let server = Server::start(bind.clone(), config).unwrap();
+
+    // A slow-loris peer: open a frame (12-byte header promising 64 bytes),
+    // then stall well past the read timeout.
+    let mut loris = UnixStream::connect(&path).unwrap();
+    loris.write_all(&64u32.to_be_bytes()).unwrap();
+    loris.write_all(&0u64.to_be_bytes()).unwrap();
+    loris.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Meanwhile the daemon keeps serving everyone else…
+    let mut connection = Connection::connect(&bind).unwrap();
+    assert_eq!(connection.roundtrip(&Request::Ping).unwrap(), Response::Pong);
+
+    // …and the stalled connection was evicted, not waited on.
+    let stats = connection.roundtrip(&Request::Stats).unwrap();
+    assert!(stat(&stats, "evictions") >= 1, "the stalled mid-frame peer should be evicted");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn stale_sockets_are_probed_before_unlinking() {
+    let (bind, path) = temp_socket();
+    let server = Server::start(bind.clone(), ServerConfig::default()).unwrap();
+
+    // A second daemon on the same path must refuse — the probe finds a
+    // live listener, so the socket file is NOT stolen out from under it.
+    let err = Server::start(bind.clone(), ServerConfig::default())
+        .err()
+        .expect("binding over a live daemon must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    // The incumbent is unharmed.
+    let mut connection = Connection::connect(&bind).unwrap();
+    assert_eq!(connection.roundtrip(&Request::Ping).unwrap(), Response::Pong);
+    drop(connection);
+    server.shutdown_and_join();
+
+    // A *stale* file — left by a dead daemon — is connect-probed, found
+    // dead, unlinked, and rebound.
+    {
+        use std::os::unix::net::UnixListener;
+        let _forgotten = UnixListener::bind(&path).unwrap();
+        // Listener drops here; the socket file stays behind, stale.
+    }
+    assert!(path.exists(), "the stale socket file should still be on disk");
+    let server = Server::start(bind.clone(), ServerConfig::default())
+        .expect("a stale socket file must not block a new daemon");
+    let mut connection = Connection::connect(&bind).unwrap();
+    assert_eq!(connection.roundtrip(&Request::Ping).unwrap(), Response::Pong);
+    drop(connection);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn faulty_clients_eventually_get_byte_identical_answers() {
+    let (bind, _path) = temp_socket();
+    let config =
+        ServerConfig { read_timeout: Duration::from_millis(200), ..ServerConfig::default() };
+    let server = Server::start(bind.clone(), config).unwrap();
+
+    let q = query(QueryMode::TopK(5), 256);
+    let local = q.run().unwrap().to_json().render();
+
+    // A client whose own connections randomly corrupt, truncate, stall and
+    // reset — every request must still eventually yield the exact answer.
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base_backoff: Duration::from_micros(500),
+        max_backoff: Duration::from_millis(10),
+    };
+    let mut client =
+        RetryingClient::new(bind, policy, 7).with_faults(FaultConfig::moderate(), 1234);
+    for _ in 0..20 {
+        match client.query(&q, None).expect("retries should absorb every injected fault") {
+            Response::Answer { answer, .. } => assert_eq!(answer.render(), local),
+            other => panic!("expected an answer, got {other:?}"),
+        }
+    }
+    assert_eq!(client.stats().succeeded, 20);
+
+    server.shutdown_and_join();
+}

@@ -13,7 +13,7 @@ use paradl_core::jsonio::Json;
 use paradl_core::oracle::Constraints;
 use paradl_core::query::{Query, QueryMode};
 use paradl_serve::client::Connection;
-use paradl_serve::proto::{self, FrameRead, Request, Response, MAX_FRAME};
+use paradl_serve::proto::{self, ErrorKind, FrameRead, Request, Response, MAX_FRAME};
 use paradl_serve::server::{Bind, Server, ServerConfig};
 use std::io::Write;
 use std::os::unix::net::UnixStream;
@@ -108,19 +108,31 @@ fn malformed_frames_do_not_kill_the_daemon() {
         }
     };
 
-    // Garbage payload → error response, connection lives.
+    // Garbage payload → retryable Protocol error (the bytes were bad, not
+    // the request), connection lives.
     let mut stream = UnixStream::connect(&path).unwrap();
     proto::write_frame(&mut stream, b"certainly not json", MAX_FRAME).unwrap();
     match read_response(&mut stream) {
-        Response::Error(message) => assert!(message.contains("malformed JSON"), "{message}"),
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Protocol);
+            assert!(message.contains("malformed JSON"), "{message}");
+        }
         other => panic!("expected an error, got {other:?}"),
     }
 
-    // Same connection: wrong schema, unknown op, unknown model.
+    // Same connection: wrong schema, unknown op, unknown model — all
+    // well-formed bytes carrying a bad request, so BadRequest (fatal; a
+    // retry would fail identically).
     proto::write_frame(&mut stream, br#"{"no_op": 1}"#, MAX_FRAME).unwrap();
-    assert!(matches!(read_response(&mut stream), Response::Error(_)));
+    assert!(matches!(
+        read_response(&mut stream),
+        Response::Error { kind: ErrorKind::BadRequest, .. }
+    ));
     proto::write_frame(&mut stream, br#"{"op": "explode"}"#, MAX_FRAME).unwrap();
-    assert!(matches!(read_response(&mut stream), Response::Error(_)));
+    assert!(matches!(
+        read_response(&mut stream),
+        Response::Error { kind: ErrorKind::BadRequest, .. }
+    ));
     let mut unknown_model = query(QueryMode::Suggest, 256).to_json().unwrap();
     if let Json::Obj(fields) = &mut unknown_model {
         fields[0].1 = Json::obj([("name", Json::str("gpt-17"))]);
@@ -128,22 +140,46 @@ fn malformed_frames_do_not_kill_the_daemon() {
     let request = format!(r#"{{"op":"query","query":{}}}"#, unknown_model.render());
     proto::write_frame(&mut stream, request.as_bytes(), MAX_FRAME).unwrap();
     match read_response(&mut stream) {
-        Response::Error(message) => assert!(message.contains("unknown model"), "{message}"),
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::BadRequest);
+            assert!(message.contains("unknown model"), "{message}");
+        }
         other => panic!("expected an error, got {other:?}"),
     }
 
-    // Oversized length prefix → error response, then the server hangs up.
+    // Oversized length prefix (a full 12-byte header: length + checksum) →
+    // Protocol error response, then the server hangs up.
     let mut stream = UnixStream::connect(&path).unwrap();
     stream.write_all(&(u32::MAX).to_be_bytes()).unwrap();
+    stream.write_all(&0u64.to_be_bytes()).unwrap();
     stream.flush().unwrap();
     match read_response(&mut stream) {
-        Response::Error(message) => assert!(message.contains("protocol error"), "{message}"),
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Protocol);
+            assert!(message.contains("protocol error"), "{message}");
+        }
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // Corrupted frame: valid length, checksum that cannot match. The server
+    // answers with a Protocol error (retryable) before hanging up.
+    let mut stream = UnixStream::connect(&path).unwrap();
+    let payload = br#"{"op":"ping"}"#;
+    stream.write_all(&(payload.len() as u32).to_be_bytes()).unwrap();
+    stream.write_all(&(proto::checksum(payload) ^ 1).to_be_bytes()).unwrap();
+    stream.write_all(payload).unwrap();
+    match read_response(&mut stream) {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Protocol);
+            assert!(message.contains("checksum"), "{message}");
+        }
         other => panic!("expected an error, got {other:?}"),
     }
 
     // Truncated frame: claim 64 bytes, send 10, hang up mid-frame.
     let mut stream = UnixStream::connect(&path).unwrap();
     stream.write_all(&(64u32).to_be_bytes()).unwrap();
+    stream.write_all(&0u64.to_be_bytes()).unwrap();
     stream.write_all(b"ten bytes!").unwrap();
     drop(stream);
 
