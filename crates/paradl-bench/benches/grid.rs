@@ -34,7 +34,8 @@ fn bench_rebatch_vs_rebuild(c: &mut Criterion) {
         })
     });
     c.bench_function("grid/resnet50_rebatch", |b| {
-        let mut engine = CostEngine::new(&model, &device, &cluster, TrainingConfig::imagenet(512));
+        let mut engine = CostEngine::new(&model, &device, &cluster, TrainingConfig::imagenet(512))
+            .expect("engine builds");
         let mut batch = 512usize;
         b.iter(|| {
             batch = if batch == 512 { 1024 } else { 512 };
@@ -51,7 +52,7 @@ fn bench_shared_vs_private_cluster_tables(c: &mut Criterion) {
     c.bench_function("grid/4models_private_tables", |b| {
         b.iter(|| {
             for m in &models {
-                std::hint::black_box(CostEngine::new(
+                let _ = std::hint::black_box(CostEngine::new(
                     m,
                     &device,
                     &cluster,
@@ -64,7 +65,7 @@ fn bench_shared_vs_private_cluster_tables(c: &mut Criterion) {
         let cache = cluster.cache();
         b.iter(|| {
             for m in &models {
-                std::hint::black_box(CostEngine::with_cache(
+                let _ = std::hint::black_box(CostEngine::with_cache(
                     m,
                     &device,
                     &cluster,

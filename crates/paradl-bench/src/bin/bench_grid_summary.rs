@@ -86,7 +86,8 @@ fn main() {
     let cluster = ClusterSpec::paper_system();
     let t_rebuild =
         best_of(50, || CostEngine::new(&resnet, &device, &cluster, TrainingConfig::imagenet(1024)));
-    let mut engine = CostEngine::new(&resnet, &device, &cluster, TrainingConfig::imagenet(512));
+    let mut engine = CostEngine::new(&resnet, &device, &cluster, TrainingConfig::imagenet(512))
+        .expect("engine builds");
     let mut flip = false;
     let t_rebatch = best_of(50, || {
         flip = !flip;

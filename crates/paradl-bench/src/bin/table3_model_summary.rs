@@ -56,7 +56,7 @@ fn main() {
     let suggest = Query::default()
         .with_constraints(Constraints { max_pes: 1024, ..Constraints::default() })
         .with_mode(QueryMode::Suggest);
-    match oracle.answer(&suggest) {
+    match oracle.answer(&suggest).expect("oracle engine build failed") {
         QueryAnswer::Suggestion(Some(best)) => println!(
             "\nsuggested (max_pes = 1024): {:<28} {:>10.2} s/epoch",
             best.cost.strategy.to_string(),

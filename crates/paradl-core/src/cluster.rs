@@ -80,9 +80,11 @@ impl ClusterSpec {
         }
     }
 
-    /// Total GPUs available in the machine.
+    /// Total GPUs available in the machine (saturating, so a hostile spec
+    /// clamps instead of overflowing; `Query::vet` rejects such specs with a
+    /// typed error before they reach the engine).
     pub fn total_gpus(&self) -> usize {
-        self.gpus_per_node * self.nodes_per_rack * self.racks
+        self.gpus_per_node.saturating_mul(self.nodes_per_rack).saturating_mul(self.racks)
     }
 
     /// The slowest hierarchy level a communicator of `p` consecutive PEs must

@@ -148,11 +148,46 @@ impl ModelLimits {
             StrategyKind::Filter => self.min_filters,
             StrategyKind::Channel => self.min_channels_after_first,
             StrategyKind::Pipeline => self.num_layers,
-            StrategyKind::DataFilter => batch * self.min_filters,
-            StrategyKind::DataSpatial => batch * self.min_spatial_size,
+            // Saturating: a hostile batch (e.g. `usize::MAX`) must clamp,
+            // not overflow — the result is only ever min'ed against budgets.
+            StrategyKind::DataFilter => batch.saturating_mul(self.min_filters),
+            StrategyKind::DataSpatial => batch.saturating_mul(self.min_spatial_size),
         }
     }
 }
+
+/// Why a [`CostEngine`] refused to build. Degenerate problems fail here,
+/// at construction, with a diagnostic — instead of propagating NaN/Inf (or
+/// a divide-by-zero panic) into every ranking computed from the tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The training configuration failed
+    /// [`TrainingConfig::validate`] (e.g. a zero batch size, which would
+    /// divide by zero in the iteration count).
+    Config(String),
+    /// A precomputed table entry came out non-finite — typically a
+    /// zero/NaN device rate or link parameter turning a layer time or
+    /// collective time into Inf/NaN.
+    NonFinite {
+        /// Which table the bad entry was found in.
+        table: &'static str,
+        /// Which entry, and what value it held.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid config: {e}"),
+            EngineError::NonFinite { table, detail } => {
+                write!(f, "non-finite value in engine table {table:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Batch-invariant aggregates of one pipeline depth `p`: the compute and
 /// boundary quantities of the balanced layer groups. The per-stage memory is
@@ -277,6 +312,60 @@ pub struct EngineCore {
     gamma_delta: f64,
 }
 
+impl EngineCore {
+    /// Sweeps every tabulated f64 for finiteness, so a degenerate spec
+    /// (zero device rates, NaN link parameters, …) fails construction with
+    /// a named table instead of poisoning every downstream ranking.
+    fn verify_finite(&self) -> Result<(), EngineError> {
+        fn check(
+            table: &'static str,
+            values: impl IntoIterator<Item = f64>,
+        ) -> Result<(), EngineError> {
+            for (i, v) in values.into_iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(EngineError::NonFinite {
+                        table,
+                        detail: format!("entry {i} is {v}"),
+                    });
+                }
+            }
+            Ok(())
+        }
+        let t = &self.times;
+        check("layer_times", t.forward.iter().chain(&t.backward).chain(&t.weight_update).copied())?;
+        check(
+            "aggregates",
+            [
+                self.fw_bw_per_sample,
+                self.wu_per_iteration,
+                self.total_weight_bytes,
+                self.act_io_sum,
+                self.weight_sum,
+                self.bias_sum,
+                self.act_out_except_last,
+                self.collective_layers,
+                self.gamma_delta,
+            ],
+        )?;
+        check("halo", self.halo_pairs.iter().chain(&self.halo_elems).copied())?;
+        check(
+            "pipeline",
+            self.pipeline.iter().flat_map(|a| [a.max_fw, a.max_bw, a.max_wu, a.max_boundary_act]),
+        )?;
+        check("pipe_mem_parts", self.pipe_mem_parts.iter().flat_map(|&(act, stat)| [act, stat]))?;
+        check(
+            "collectives",
+            self.tables
+                .flat
+                .iter()
+                .chain(self.tables.df.iter().flatten())
+                .chain(self.tables.ds.iter().flatten())
+                .copied(),
+        )?;
+        Ok(())
+    }
+}
+
 /// The precomputed cost engine for one (model, device, cluster, config)
 /// problem. See the [module docs](crate::engine) for what is tabulated and
 /// which tables are batch-invariant; all per-candidate queries are `O(1)`
@@ -307,12 +396,16 @@ impl<'a> CostEngine<'a> {
     /// deriving the topology tables from a private [`ClusterCache`]. When
     /// building several engines on the same cluster, build the cache once
     /// and use [`CostEngine::with_cache`] instead.
+    ///
+    /// Errors instead of building when the config is invalid (zero batch,
+    /// zero dataset, …) or when any precomputed table entry comes out
+    /// non-finite — see [`EngineError`].
     pub fn new<C: ComputeModel + ?Sized>(
         model: &'a Model,
         device: &C,
         cluster: &'a ClusterSpec,
         config: TrainingConfig,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         Self::with_cache(model, device, cluster, config, &ClusterCache::new(cluster))
     }
 
@@ -327,8 +420,11 @@ impl<'a> CostEngine<'a> {
         cluster: &'a ClusterSpec,
         config: TrainingConfig,
         cache: &ClusterCache,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         debug_assert_eq!(cache.cluster(), cluster, "ClusterCache reused across clusters");
+        // Validate *before* any arithmetic: `rebatch` below divides by the
+        // batch size, and a zero batch must be a typed error, not a panic.
+        config.validate().map_err(EngineError::Config)?;
         let times = LayerTimes::tabulate(model, device);
         let fw_bw_per_sample = times.fw_bw_per_sample();
         let wu_per_iteration = times.wu_per_iteration();
@@ -432,6 +528,7 @@ impl<'a> CostEngine<'a> {
             tables,
             gamma_delta: config.memory_reuse * delta,
         };
+        core.verify_finite()?;
         let mut engine = CostEngine {
             model,
             cluster,
@@ -445,7 +542,7 @@ impl<'a> CostEngine<'a> {
         // code path `rebatch` uses, so fresh and rebatched engines are
         // byte-for-byte identical.
         engine.rebatch(config.batch_size);
-        engine
+        Ok(engine)
     }
 
     /// Switches the engine to a new global mini-batch `batch`, rewriting
@@ -505,12 +602,16 @@ impl<'a> CostEngine<'a> {
     /// `bytes_per_item` and `memory_reuse` — i.e. the same
     /// [`engine_fingerprint`]. `batch_size`, `dataset_size` and `epochs`
     /// may differ freely (they are not baked into any core table).
+    ///
+    /// Errors when `config` is invalid (the core's tables are known-finite
+    /// by construction, so that is the only way hydration can fail).
     pub fn from_core(
         model: &'a Model,
         cluster: &'a ClusterSpec,
         config: TrainingConfig,
         core: Arc<EngineCore>,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
+        config.validate().map_err(EngineError::Config)?;
         debug_assert_eq!(core.limits, ModelLimits::of(model), "core reused across models");
         debug_assert_eq!(
             core.gamma_delta.to_bits(),
@@ -528,7 +629,7 @@ impl<'a> CostEngine<'a> {
             iters_f: 0.0,
         };
         engine.rebatch(config.batch_size);
-        engine
+        Ok(engine)
     }
 
     /// The model this engine was built for.
@@ -895,8 +996,20 @@ impl<V: Clone> Lru<V> {
     /// `(value, was_hit)`. With `cap == 0` the cache is disabled: every call
     /// builds fresh.
     fn get_or_insert(&self, key: u64, build: impl FnOnce() -> V) -> (V, bool) {
+        self.try_get_or_insert::<std::convert::Infallible>(key, || Ok(build()))
+            .unwrap_or_else(|never| match never {})
+    }
+
+    /// [`Lru::get_or_insert`] with a fallible builder: a build error
+    /// propagates to the caller and nothing is inserted (a later lookup
+    /// rebuilds).
+    fn try_get_or_insert<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
         if self.cap == 0 {
-            return (build(), false);
+            return Ok((build()?, false));
         }
         // Recover from poisoning rather than unwrap: the serve daemon runs
         // query evaluation under `catch_unwind`, and a panic while this lock
@@ -909,15 +1022,15 @@ impl<V: Clone> Lru<V> {
             let entry = entries.remove(pos);
             let value = entry.1.clone();
             entries.insert(0, entry);
-            return (value, true);
+            return Ok((value, true));
         }
         // Build while holding the lock: concurrent requests for the same key
         // then build once, and the daemon's batcher (the only heavy caller)
         // is single-threaded anyway.
-        let value = build();
+        let value = build()?;
         entries.insert(0, (key, value.clone()));
         entries.truncate(self.cap);
-        (value, false)
+        Ok((value, false))
     }
 
     /// Whether `key` is cached, without promoting it.
@@ -993,6 +1106,25 @@ impl EngineCache {
         let (core, hit) = self.cores.get_or_insert(key, build);
         self.count(hit);
         core
+    }
+
+    /// Like [`EngineCache::core`], but with a fallible builder: a build
+    /// error ([`EngineError`]) propagates to the caller, nothing is cached,
+    /// and the miss is still counted. Returns `(core, was_hit)` — the serve
+    /// daemon's admission path uses the hit flag for its per-response
+    /// `cache_hit` stat.
+    pub fn try_core(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<Arc<EngineCore>, EngineError>,
+    ) -> Result<(Arc<EngineCore>, bool), EngineError> {
+        let result = self.cores.try_get_or_insert(key, build);
+        if let Ok((_, hit)) = &result {
+            self.count(*hit);
+        } else {
+            self.count(false);
+        }
+        result
     }
 
     /// The cluster cache for `key` (a [`cluster_fingerprint`]), building and
@@ -1074,7 +1206,7 @@ mod tests {
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
         let cfg = TrainingConfig::small(4096, 64);
-        let engine = CostEngine::new(&m, &d, &c, cfg);
+        let engine = CostEngine::new(&m, &d, &c, cfg).expect("engine builds");
         for s in strategies() {
             let fast = engine.estimate(s);
             let slow = estimate(&m, &d, &c, &cfg, s);
@@ -1099,7 +1231,7 @@ mod tests {
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
         let cfg = TrainingConfig::small(4096, 64);
-        let engine = CostEngine::new(&m, &d, &c, cfg);
+        let engine = CostEngine::new(&m, &d, &c, cfg).expect("engine builds");
         for s in strategies() {
             let fast = engine.memory_per_pe(s);
             let slow = memory_per_pe(&m, &cfg, s);
@@ -1112,9 +1244,11 @@ mod tests {
         let m = model();
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
-        let base = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64));
+        let base =
+            CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64)).expect("engine builds");
         for batch in [8usize, 32, 64, 96, 256] {
-            let fresh = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, batch));
+            let fresh = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, batch))
+                .expect("engine builds");
             let rebatched = base.rebatched(batch);
             assert_eq!(rebatched.config(), fresh.config());
             for s in strategies() {
@@ -1140,7 +1274,8 @@ mod tests {
         let m = model();
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
-        let base = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64));
+        let base =
+            CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64)).expect("engine builds");
         let sibling = base.rebatched(128);
         assert!(Arc::ptr_eq(&base.core, &sibling.core), "rebatch must not copy the core");
         assert_eq!(sibling.config().batch_size, 128);
@@ -1158,7 +1293,7 @@ mod tests {
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
         let cfg = TrainingConfig::small(4096, 64);
-        let engine = CostEngine::with_cache(&m, &d, &c, cfg, &c.cache());
+        let engine = CostEngine::with_cache(&m, &d, &c, cfg, &c.cache()).expect("engine builds");
         let w = m.total_weights() as f64 * cfg.bytes_per_item;
         let tables = &engine.core.tables;
         for i in 0..10usize {
@@ -1184,7 +1319,7 @@ mod tests {
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
         let cfg = TrainingConfig::small(4096, 64);
-        let engine = CostEngine::new(&m, &d, &c, cfg);
+        let engine = CostEngine::new(&m, &d, &c, cfg).expect("engine builds");
         for s in strategies() {
             let est = engine.estimate(s);
             let lb = engine.lower_bound(s);
@@ -1249,13 +1384,14 @@ mod tests {
         let m = model();
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
-        let base = CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64));
+        let base =
+            CostEngine::new(&m, &d, &c, TrainingConfig::small(4096, 64)).expect("engine builds");
         let core = base.core_handle();
         // Different batch AND different dataset size: neither is baked into
         // the core, so hydration must still match a fresh build exactly.
         let cfg = TrainingConfig::small(8192, 96);
-        let hydrated = CostEngine::from_core(&m, &c, cfg, core);
-        let fresh = CostEngine::new(&m, &d, &c, cfg);
+        let hydrated = CostEngine::from_core(&m, &c, cfg, core).expect("hydration succeeds");
+        let fresh = CostEngine::new(&m, &d, &c, cfg).expect("engine builds");
         assert_eq!(hydrated.config(), fresh.config());
         for s in strategies() {
             assert_eq!(hydrated.estimate(s), fresh.estimate(s), "{s}");
@@ -1295,7 +1431,7 @@ mod tests {
         let cfg = TrainingConfig::small(4096, 64);
         let key = engine_fingerprint(&m, &c, &cfg);
         let cache = EngineCache::new(2);
-        let build = || CostEngine::new(&m, &d, &c, cfg).core_handle();
+        let build = || CostEngine::new(&m, &d, &c, cfg).expect("engine builds").core_handle();
         let first = cache.core(key, build);
         assert!(cache.contains_core(key));
         let second = cache.core(key, || panic!("must not rebuild on a hit"));
@@ -1328,7 +1464,7 @@ mod tests {
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
         let cfg = TrainingConfig::small(1024, 32);
-        let engine = CostEngine::new(&m, &d, &c, cfg);
+        let engine = CostEngine::new(&m, &d, &c, cfg).expect("engine builds");
         for split in [
             SpatialSplit { pw: 2, ph: 1, pd: 1 },
             SpatialSplit { pw: 1, ph: 2, pd: 1 },
@@ -1341,5 +1477,55 @@ mod tests {
             assert!(rel_close(fast, slow), "{s}: halo engine={fast} reference={slow}");
             assert!(fast > 0.0, "{s}: expected a non-zero halo");
         }
+    }
+
+    #[test]
+    fn degenerate_specs_fail_construction_with_a_diagnostic() {
+        let m = model();
+        let c = ClusterSpec::paper_system();
+        // A zero batch is a typed Config error, not a divide-by-zero panic.
+        let err = CostEngine::new(&m, &DeviceProfile::v100(), &c, TrainingConfig::small(4096, 0))
+            .expect_err("zero batch must not build");
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("invalid config"), "{err}");
+        // A zero-rate device turns layer times into Inf: NonFinite names the
+        // poisoned table instead of letting Inf reach a ranking.
+        let mut dead = DeviceProfile::v100();
+        dead.peak_flops = 0.0;
+        let err = CostEngine::new(&m, &dead, &c, TrainingConfig::small(4096, 64))
+            .expect_err("zero-rate device must not build");
+        match &err {
+            EngineError::NonFinite { table, .. } => assert_eq!(*table, "layer_times"),
+            other => panic!("expected NonFinite, got {other}"),
+        }
+        // Hydration re-checks the config too.
+        let good = CostEngine::new(&m, &DeviceProfile::v100(), &c, TrainingConfig::small(4096, 64))
+            .expect("engine builds");
+        let err = CostEngine::from_core(&m, &c, TrainingConfig::small(4096, 0), good.core_handle())
+            .expect_err("zero batch must not hydrate");
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn try_core_propagates_errors_without_caching() {
+        let m = model();
+        let d = DeviceProfile::v100();
+        let c = ClusterSpec::paper_system();
+        let cfg = TrainingConfig::small(4096, 64);
+        let key = engine_fingerprint(&m, &c, &cfg);
+        let cache = EngineCache::new(4);
+        let err = cache
+            .try_core(key, || Err(EngineError::Config("nope".into())))
+            .expect_err("builder error propagates");
+        assert_eq!(err, EngineError::Config("nope".into()));
+        assert!(!cache.contains_core(key), "a failed build must not be cached");
+        let (core, hit) = cache
+            .try_core(key, || Ok(CostEngine::new(&m, &d, &c, cfg).unwrap().core_handle()))
+            .expect("build succeeds");
+        assert!(!hit);
+        assert!(cache.contains_core(key));
+        let (again, hit) = cache.try_core(key, || panic!("must not rebuild on a hit")).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&core, &again));
     }
 }

@@ -501,6 +501,8 @@ impl GridSweep {
                 let gm = &grid.models[m];
                 let cluster = &grid.clusters[c];
                 let config = gm.config_at(max_batch);
+                // The grid's workloads are vetted/curated upstream; an
+                // unbuildable engine here is a caller bug, not a request.
                 match ecache {
                     Some(ec) => {
                         let core =
@@ -512,9 +514,11 @@ impl GridSweep {
                                     config,
                                     &caches[c],
                                 )
+                                .expect("grid engine build failed")
                                 .core_handle()
                             });
                         CostEngine::from_core(&gm.model, cluster, config, core)
+                            .expect("grid engine hydration failed")
                     }
                     None => CostEngine::with_cache(
                         &gm.model,
@@ -522,7 +526,8 @@ impl GridSweep {
                         cluster,
                         config,
                         &caches[c],
-                    ),
+                    )
+                    .expect("grid engine build failed"),
                 }
             })
             .collect();

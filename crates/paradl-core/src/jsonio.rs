@@ -560,8 +560,15 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
-        match text.parse() {
-            Ok(n) => Ok(Json::Num(n)),
+        match text.parse::<f64>() {
+            // Reject overflowing exponents (`1e999` parses to Inf): a
+            // non-finite literal must never reach a query field. Renders of
+            // non-finite values emit `null`, so round-trips stay closed.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(n) => Err(JsonError {
+                message: format!("non-finite number {text:?} (parses to {n})"),
+                at: start,
+            }),
             Err(_) => Err(JsonError { message: format!("bad number {text:?}"), at: start }),
         }
     }
@@ -633,6 +640,19 @@ mod tests {
             "--5",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn overflowing_exponents_are_a_parse_error_not_an_inf() {
+        for bad in ["1e999", "-1e999", "1e400", "[1e309]", "{\"beta\": -1.5e999}"] {
+            let err = Json::parse(bad).expect_err(&format!("{bad:?} must not parse"));
+            assert!(err.message.contains("non-finite"), "{bad:?}: {}", err.message);
+        }
+        // The largest finite doubles still parse.
+        for good in ["1e308", "-1.7976931348623157e308", "1e-999"] {
+            let v = Json::parse(good).expect(good);
+            assert!(v.as_num().is_finite(), "{good:?} should stay finite");
         }
     }
 

@@ -62,6 +62,7 @@ pub mod scaling;
 pub mod search;
 pub mod strategy;
 pub mod validate;
+pub mod vet;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -72,7 +73,7 @@ pub mod prelude {
     pub use crate::cost::{estimate, estimate_with_memory, CostEstimate, PhaseBreakdown};
     pub use crate::engine::{
         cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache, EngineCacheStats,
-        ModelLimits,
+        EngineError, ModelLimits,
     };
     pub use crate::grid::{GridCell, GridModel, GridQuery, GridReport, GridSweep, QueryGrid};
     pub use crate::jsonio::{Json, JsonError};
@@ -90,4 +91,5 @@ pub mod prelude {
     pub use crate::validate::{
         spearman_rho, CellFidelity, ErrorSample, ErrorStats, FamilyFidelity, FidelityReport,
     };
+    pub use crate::vet::{VetError, DEFAULT_CANDIDATE_CAP};
 }

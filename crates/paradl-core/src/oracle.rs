@@ -10,7 +10,7 @@ use crate::cluster::ClusterSpec;
 use crate::compute::ComputeModel;
 use crate::config::TrainingConfig;
 use crate::cost::{estimate, CostEstimate, PhaseBreakdown};
-use crate::engine::{CostEngine, EngineCore};
+use crate::engine::{CostEngine, EngineCore, EngineError};
 use crate::memory;
 use crate::model::Model;
 use crate::query::{Query, QueryAnswer, QueryMode};
@@ -75,8 +75,9 @@ pub struct Oracle<'a, C: ComputeModel + ?Sized> {
     pub config: TrainingConfig,
     /// Lazily built batch-invariant engine core, so repeated
     /// [`Oracle::engine`] calls on one oracle pay the `O(layers²)`
-    /// tabulation once and hydrate afterwards.
-    core_cache: OnceLock<Arc<EngineCore>>,
+    /// tabulation once and hydrate afterwards. Build failures are cached
+    /// too: a degenerate problem keeps returning the same typed error.
+    core_cache: OnceLock<Result<Arc<EngineCore>, EngineError>>,
 }
 
 /// A projection for one concrete strategy, with feasibility information.
@@ -116,11 +117,29 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
     /// identical to a fresh build, at `O(layers²)` float cost instead of
     /// the full device/topology pass). The search, [`Oracle::survey`] and
     /// [`Oracle::suggest`] all go through it.
+    /// # Panics
+    ///
+    /// Panics if the engine refuses to build (see [`Oracle::try_engine`]
+    /// for the fallible variant; [`Query::vet`] screens out the inputs that
+    /// trigger this).
     pub fn engine(&self) -> CostEngine<'a> {
+        self.try_engine().expect("oracle engine build failed")
+    }
+
+    /// Fallible variant of [`Oracle::engine`]: a degenerate problem (zero
+    /// batch, non-finite device rates, …) returns the
+    /// [`EngineError`] the build produced instead of panicking. The error
+    /// is cached alongside the success path, so retries are cheap.
+    pub fn try_engine(&self) -> Result<CostEngine<'a>, EngineError> {
         let core = self.core_cache.get_or_init(|| {
-            CostEngine::new(self.model, self.device, self.cluster, self.config).core_handle()
+            Ok(CostEngine::new(self.model, self.device, self.cluster, self.config)?.core_handle())
         });
-        CostEngine::from_core(self.model, self.cluster, self.config, Arc::clone(core))
+        match core {
+            Ok(core) => {
+                CostEngine::from_core(self.model, self.cluster, self.config, Arc::clone(core))
+            }
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// Projects the cost of a single strategy (reference slow path; for
@@ -306,9 +325,11 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
     ///
     /// The ranked modes run the exhaustive parallel search (hence the
     /// `Sync` bound); see [`Query::effective_constraints`] for how the mode
-    /// picks the ranking depth.
-    pub fn answer(&self, query: &Query) -> QueryAnswer {
-        self.answer_with_engine(&self.engine(), query)
+    /// picks the ranking depth. A degenerate problem that defeats engine
+    /// construction (zero batch, non-finite device rates) returns the
+    /// build's [`EngineError`] instead of panicking.
+    pub fn answer(&self, query: &Query) -> Result<QueryAnswer, EngineError> {
+        Ok(self.answer_with_engine(&self.try_engine()?, query))
     }
 
     /// Like [`Oracle::answer`], but evaluates through a [`CostEngine`] the

@@ -157,13 +157,15 @@ impl Query {
     /// [`DeviceProfile`] supplies the compute model, exactly as the serve
     /// daemon does. Errors (rather than panics) on an incomplete workload
     /// or an invalid configuration, so the daemon can reject bad requests.
+    /// The full [`Query::vet`] pass runs first, so a hostile spec is
+    /// refused with a structured reason before any engine work.
     pub fn run(&self) -> Result<QueryAnswer, String> {
+        self.vet().map_err(|e| e.to_string())?;
         let model = self.model.as_ref().ok_or("query has no model")?;
         let config = self.config.ok_or("query has no config")?;
         let cluster = self.cluster.as_ref().ok_or("query has no cluster")?;
-        config.validate().map_err(|e| format!("invalid config: {e}"))?;
         let oracle = Oracle::new(model, &cluster.device, cluster, config);
-        Ok(oracle.answer(self))
+        oracle.answer(self).map_err(|e| e.to_string())
     }
 
     /// [`Query::run`] with panic containment: an evaluation panic (a bug,

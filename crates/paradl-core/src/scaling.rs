@@ -76,7 +76,11 @@ pub fn powers_of_two(lo: usize, hi: usize) -> Vec<usize> {
     let mut p = lo.max(1);
     while p <= hi {
         v.push(p);
-        p *= 2;
+        // Checked: `hi` near `usize::MAX` would otherwise overflow the doubling.
+        match p.checked_mul(2) {
+            Some(next) => p = next,
+            None => break,
+        }
     }
     v
 }

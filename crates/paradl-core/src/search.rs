@@ -116,13 +116,14 @@ impl StrategySpace {
         let spatial_counts = pe_counts(2, limits.min_spatial_size, sweep);
         for p1 in pe_counts(1, batch, sweep) {
             for &p2 in &filter_counts {
-                if p1 * p2 > max_pes {
+                // Saturating: huge hostile batches must break out, not overflow.
+                if p1.saturating_mul(p2) > max_pes {
                     break; // PE counts are ascending in both sweep modes.
                 }
                 push(Strategy::DataFilter { p1, p2 });
             }
             for &p2 in &spatial_counts {
-                if p1 * p2 > max_pes {
+                if p1.saturating_mul(p2) > max_pes {
                     break;
                 }
                 let splits = split_memo
@@ -666,6 +667,11 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
     /// Delegates to [`Oracle::answer`] with a ranked-mode
     /// [`crate::query::Query`] (the canonical entry point); the oracle's
     /// cached engine core makes repeated calls cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine refuses to build for a degenerate problem; use
+    /// [`Oracle::answer`] for the fallible path.
     pub fn search(&self, constraints: &Constraints) -> SearchReport {
         let query = crate::query::Query {
             mode: match constraints.top_k {
@@ -675,7 +681,7 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
             constraints: *constraints,
             ..crate::query::Query::default()
         };
-        match self.answer(&query) {
+        match self.answer(&query).expect("oracle engine build failed") {
             crate::query::QueryAnswer::Ranked(report) => report,
             _ => unreachable!("ranked query modes always produce ranked answers"),
         }

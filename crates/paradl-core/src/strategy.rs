@@ -177,8 +177,11 @@ impl Strategy {
             StrategyKind::Filter => model.min_filters(),
             StrategyKind::Channel => model.min_channels_after_first(),
             StrategyKind::Pipeline => model.num_layers(),
-            StrategyKind::DataFilter => batch * model.min_filters(),
-            StrategyKind::DataSpatial => batch * model.min_spatial_size(),
+            // Saturating: a hostile batch must clamp, not overflow — the result
+            // is only ever min'ed against budgets (and must stay equal to
+            // `ModelLimits::max_pes`, which saturates the same way).
+            StrategyKind::DataFilter => batch.saturating_mul(model.min_filters()),
+            StrategyKind::DataSpatial => batch.saturating_mul(model.min_spatial_size()),
         }
     }
 

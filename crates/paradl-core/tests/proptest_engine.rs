@@ -59,7 +59,7 @@ proptest! {
     ) {
         let device = DeviceProfile::v100();
         let cluster = ClusterSpec::paper_system();
-        let engine = CostEngine::new(&model, &device, &cluster, config);
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
         for s in sample_candidates(&model, config.batch_size) {
             let fast = engine.estimate(s);
             let slow = estimate(&model, &device, &cluster, &config, s);
@@ -93,7 +93,7 @@ proptest! {
     ) {
         let device = DeviceProfile::v100();
         let cluster = ClusterSpec::paper_system();
-        let base = CostEngine::new(&model, &device, &cluster, config);
+        let base = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
         // Power-of-two and non-power-of-two target batches, both directions
         // (shrinking and growing relative to the base batch).
         for batch in [1usize << log_batch, (1 << log_batch) + 3] {
@@ -102,7 +102,8 @@ proptest! {
                 &device,
                 &cluster,
                 TrainingConfig { batch_size: batch, ..config },
-            );
+            )
+            .expect("engine builds");
             let rebatched = base.rebatched(batch);
             prop_assert!(rebatched.config() == fresh.config());
             for s in sample_candidates(&model, batch) {
@@ -132,7 +133,7 @@ proptest! {
     ) {
         let device = DeviceProfile::v100();
         let cluster = ClusterSpec::paper_system();
-        let engine = CostEngine::new(&model, &device, &cluster, config);
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
         for s in sample_candidates(&model, config.batch_size) {
             let lb = engine.lower_bound(s);
             let total = engine.estimate(s).epoch_time();

@@ -16,6 +16,7 @@ paradl-client: query a running paradl-serve daemon
 
 USAGE:
     paradl-client --connect TARGET [OPTIONS]
+    paradl-client --vet-only [QUERY OPTIONS]
 
 TARGET:
     unix:/path/to.sock | tcp:host:port
@@ -24,6 +25,8 @@ OPERATIONS (default: send one query):
     --ping            liveness probe
     --stats           print server counters
     --shutdown        ask the daemon to drain and exit
+    --vet-only        validate the query locally (no daemon, no evaluation);
+                      prints the rejected field path and reason on failure
 
 QUERY OPTIONS:
     --model NAME      model name (default resnet-50)
@@ -60,6 +63,7 @@ struct Args {
     deadline_ms: Option<u64>,
     attempts: u32,
     json: bool,
+    vet_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         attempts: 8,
         json: false,
+        vet_only: false,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -104,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--attempts" => parsed.attempts = (number(&mut args, "--attempts")? as u32).max(1),
             "--json" => parsed.json = true,
+            "--vet-only" => parsed.vet_only = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -111,7 +117,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if parsed.target.is_empty() {
+    if parsed.target.is_empty() && !parsed.vet_only {
         return Err("--connect is required".to_string());
     }
     Ok(parsed)
@@ -188,6 +194,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.vet_only {
+        // Local validation only: build the query and run the same vet pass
+        // the daemon applies at enqueue, without connecting or evaluating.
+        let query = match build_query(&args) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match query.vet() {
+            Ok(()) => {
+                println!("vet ok: the daemon would accept this query");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "vet rejected: field={} reason={} (retryable={})",
+                    e.field, e.reason, e.retryable
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     let target = match parse_target(&args.target) {
         Ok(t) => t,
         Err(e) => {
@@ -246,8 +276,13 @@ fn main() -> ExitCode {
         Response::Answer { answer, stats } => {
             summarize(&answer);
             println!(
-                "[cache_hit={} coalesced={} cells={} queue={}µs eval={}µs]",
-                stats.cache_hit, stats.coalesced, stats.batch_cells, stats.queue_us, stats.eval_us
+                "[cache_hit={} coalesced={} cells={} queue={}µs eval={}µs degraded={}]",
+                stats.cache_hit,
+                stats.coalesced,
+                stats.batch_cells,
+                stats.queue_us,
+                stats.eval_us,
+                stats.degraded
             );
             ExitCode::SUCCESS
         }

@@ -1,0 +1,644 @@
+//! Seeded spec-fuzz harness for the query surface.
+//!
+//! Generates adversarial query JSON — mutations of valid wire payloads
+//! (numbers zeroed, negated, inflated to 1e308, raw `1e999` splices, fields
+//! dropped, types swapped) plus a hand-written corpus of degenerate specs —
+//! and drives every case through **both** admission paths:
+//!
+//! * locally, via `Json::parse` → `Query::from_json` → [`Query::vet`] →
+//!   [`Query::run_contained`];
+//! * served, as a raw `{"op":"query","query":…}` frame against a live
+//!   in-process daemon (degradation off, so accepted answers stay
+//!   byte-comparable).
+//!
+//! The invariants checked, per case and in aggregate:
+//!
+//! * **No panic escapes.** The fuzz process never unwinds; the daemon's
+//!   contained-panic counter stays zero across the whole seed set.
+//! * **No non-finite cost.** Every number in an accepted answer is finite
+//!   (checked on the JSON tree, before rendering can mask an `inf` as
+//!   `null`).
+//! * **Decision parity.** A case is accepted locally iff the daemon accepts
+//!   it, and accepted answers are byte-identical.
+//! * **Degenerate specs are refused with a diagnosis**, not evaluated.
+//!
+//! Results go to `BENCH_robust.json`; set `PARADL_ASSERT_ROBUST=1` to turn
+//! any violation into a non-zero exit (the CI `robust` job does).
+
+use paradl_core::cluster::ClusterSpec;
+use paradl_core::config::TrainingConfig;
+use paradl_core::jsonio::Json;
+use paradl_core::oracle::Constraints;
+use paradl_core::query::{Query, QueryMode};
+use paradl_serve::proto::{self, ErrorKind, FrameRead, Request, Response, MAX_FRAME};
+use paradl_serve::resolve::resolve_model;
+use paradl_serve::server::{Bind, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+paradl-fuzz: seeded spec-fuzzing of the paradl query surface
+
+USAGE:
+    paradl-fuzz [OPTIONS]
+
+OPTIONS:
+    --quick         smaller seed set (used by CI smoke; the full set is the
+                    committed benchmark)
+    --seed N        base seed for the mutation streams (default 7457721)
+    --rounds N      mutation rounds per base payload (default 24, quick 8)
+    --out PATH      output file (default BENCH_robust.json)
+    --help          print this help
+
+Every case is evaluated twice — locally and against a live in-process
+daemon — and the two decisions must agree byte-for-byte on acceptance.
+Set PARADL_ASSERT_ROBUST=1 to fail the run on any parity mismatch,
+non-finite value in an accepted answer, contained panic, or accepted
+degenerate spec.";
+
+struct Args {
+    seed: u64,
+    rounds: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut quick = false;
+    let mut seed = 7_457_721u64;
+    let mut rounds = None;
+    let mut out = "BENCH_robust.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--rounds" => {
+                rounds = Some(
+                    args.next()
+                        .ok_or("--rounds needs a value")?
+                        .parse()
+                        .map_err(|_| "--rounds needs an integer".to_string())?,
+                );
+            }
+            "--out" => out = args.next().ok_or("--out needs a value")?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args { seed, rounds: rounds.unwrap_or(if quick { 8 } else { 24 }), out })
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG (xorshift64*), so the committed seed set reproduces.
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Case generation.
+// ---------------------------------------------------------------------------
+
+/// Valid wire payloads the mutators start from: every answer shape, both
+/// bundled clusters, two models.
+fn base_payloads() -> Vec<String> {
+    let base = |model: paradl_core::model::Model,
+                cluster: ClusterSpec,
+                mode: QueryMode,
+                batch: usize,
+                max_pes: usize| {
+        Query::default()
+            .with_config(TrainingConfig::imagenet(batch))
+            .with_model(model)
+            .with_cluster(cluster)
+            .with_constraints(Constraints { max_pes, ..Constraints::default() })
+            .with_mode(mode)
+            .to_json()
+            .expect("complete query serializes")
+            .render()
+    };
+    vec![
+        base(paradl_models::alexnet(), ClusterSpec::workstation(8), QueryMode::TopK(5), 256, 256),
+        base(paradl_models::alexnet(), ClusterSpec::workstation(8), QueryMode::FullRank, 512, 256),
+        base(paradl_models::alexnet(), ClusterSpec::paper_system(), QueryMode::Suggest, 256, 1024),
+        base(
+            paradl_models::alexnet(),
+            ClusterSpec::workstation(4),
+            QueryMode::Survey { pes: 16 },
+            128,
+            256,
+        ),
+        base(paradl_models::resnet50(), ClusterSpec::workstation(8), QueryMode::TopK(3), 256, 128),
+    ]
+}
+
+/// Hand-written degenerate specs. Every one of these must be **refused**
+/// (at parse, decode, vet, or engine construction) with a structured error —
+/// never evaluated into an answer.
+fn degenerate_corpus() -> Vec<(&'static str, String)> {
+    let patch = |json: &str, path: &[&str], with: Json| -> String {
+        let mut tree = Json::parse(json).expect("base payload parses");
+        let mut node = &mut tree;
+        for key in &path[..path.len() - 1] {
+            let Json::Obj(fields) = node else { panic!("path walks objects") };
+            node = &mut fields.iter_mut().find(|(k, _)| k == key).expect("known key").1;
+        }
+        let Json::Obj(fields) = node else { panic!("path walks objects") };
+        fields.iter_mut().find(|(k, _)| k == *path.last().unwrap()).expect("known key").1 = with;
+        tree.render()
+    };
+    let valid = base_payloads().remove(0);
+    vec![
+        ("zero batch size", patch(&valid, &["config", "batch_size"], Json::count(0))),
+        ("zero dataset", patch(&valid, &["config", "dataset_size"], Json::count(0))),
+        ("batch exceeds dataset", patch(&valid, &["config", "batch_size"], Json::count(1 << 40))),
+        ("negative bytes per item", patch(&valid, &["config", "bytes_per_item"], Json::Num(-1.0))),
+        ("memory reuse above one", patch(&valid, &["config", "memory_reuse"], Json::Num(7.0))),
+        ("zero-GPU nodes", patch(&valid, &["cluster", "gpus_per_node"], Json::count(0))),
+        ("zero racks", patch(&valid, &["cluster", "racks"], Json::count(0))),
+        ("dead device", patch(&valid, &["cluster", "device", "peak_flops"], Json::Num(0.0))),
+        (
+            "negative link latency",
+            patch(&valid, &["cluster", "intra_node", "alpha"], Json::Num(-1.0e-6)),
+        ),
+        ("zero PE budget", patch(&valid, &["constraints", "max_pes"], Json::count(0))),
+        (
+            "negative memory capacity",
+            patch(&valid, &["constraints", "memory_capacity_bytes"], Json::Num(-1.0)),
+        ),
+        (
+            "zero-PE survey",
+            patch(
+                &valid,
+                &["mode"],
+                Json::obj([("kind", Json::str("survey")), ("pes", Json::count(0))]),
+            ),
+        ),
+        ("unknown model", patch(&valid, &["model"], Json::obj([("name", Json::str("gpt-17"))]))),
+        ("unknown mode", patch(&valid, &["mode"], Json::obj([("kind", Json::str("explode"))]))),
+        ("infinite beta literal", {
+            // Raw splice: `1e999` parses to +inf in a permissive reader; ours
+            // must refuse it at the parser, as must the daemon's.
+            let marker = patch(&valid, &["cluster", "inter_rack", "beta"], Json::Num(777.125));
+            marker.replace("777.125", "1e999")
+        }),
+        ("enumeration blowup", {
+            let big = patch(&valid, &["config", "dataset_size"], Json::count(1 << 42));
+            let big = patch(&big, &["config", "batch_size"], Json::count(1 << 40));
+            let big = patch(&big, &["constraints", "max_pes"], Json::count(1 << 50));
+            let big = patch(&big, &["constraints", "sweep"], Json::str("exhaustive"));
+            patch(&big, &["mode"], Json::obj([("kind", Json::str("full_rank"))]))
+        }),
+    ]
+}
+
+/// Hostile replacement values the numeric-leaf mutator draws from.
+const HOSTILE_NUMBERS: [f64; 8] =
+    [0.0, -1.0, 1.0e308, -1.0e308, 1.0e-300, 1.0e18, 0.5, 4294967296.0];
+
+fn count_leaves(json: &Json) -> usize {
+    match json {
+        Json::Obj(fields) => fields.iter().map(|(_, v)| count_leaves(v)).sum(),
+        Json::Arr(items) => items.iter().map(count_leaves).sum(),
+        _ => 1,
+    }
+}
+
+/// Replaces the `target`-th leaf (pre-order) with `with`; returns true once
+/// the replacement lands.
+fn replace_leaf(json: &mut Json, target: &mut usize, with: &Json) -> bool {
+    match json {
+        Json::Obj(fields) => fields.iter_mut().any(|(_, v)| replace_leaf(v, target, with)),
+        Json::Arr(items) => items.iter_mut().any(|v| replace_leaf(v, target, with)),
+        leaf => {
+            if *target == 0 {
+                *leaf = with.clone();
+                true
+            } else {
+                *target -= 1;
+                false
+            }
+        }
+    }
+}
+
+fn count_fields(json: &Json) -> usize {
+    match json {
+        Json::Obj(fields) => {
+            fields.len() + fields.iter().map(|(_, v)| count_fields(v)).sum::<usize>()
+        }
+        Json::Arr(items) => items.iter().map(count_fields).sum(),
+        _ => 0,
+    }
+}
+
+/// Removes the `target`-th object field (pre-order); returns true once the
+/// removal lands.
+fn drop_field(json: &mut Json, target: &mut usize) -> bool {
+    match json {
+        Json::Obj(fields) => {
+            if *target < fields.len() {
+                fields.remove(*target);
+                return true;
+            }
+            *target -= fields.len();
+            fields.iter_mut().any(|(_, v)| drop_field(v, target))
+        }
+        Json::Arr(items) => items.iter_mut().any(|v| drop_field(v, target)),
+        _ => false,
+    }
+}
+
+/// Replaces the `occurrence`-th numeric literal in rendered JSON text with a
+/// raw splice the tree representation cannot express (e.g. `1e999`).
+fn splice_number(text: &str, occurrence: usize, with: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            // Skip string literals so we never splice inside a key.
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += if bytes[i] == b'\\' { 2 } else { 1 };
+            }
+            i += 1;
+            continue;
+        }
+        if bytes[i].is_ascii_digit() || (bytes[i] == b'-' && i + 1 < bytes.len()) {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || matches!(bytes[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                i += 1;
+            }
+            spans.push((start, i));
+            continue;
+        }
+        i += 1;
+    }
+    if spans.is_empty() {
+        return text.to_string();
+    }
+    let (start, end) = spans[occurrence % spans.len()];
+    format!("{}{}{}", &text[..start], with, &text[end..])
+}
+
+/// One seeded mutation of a base payload.
+fn mutate(base: &str, rng: &mut Rng) -> String {
+    let tree = Json::parse(base).expect("base payload parses");
+    match rng.below(5) {
+        // Hostile number into a random leaf.
+        0 => {
+            let mut tree = tree;
+            let n = HOSTILE_NUMBERS[rng.below(HOSTILE_NUMBERS.len())];
+            let mut target = rng.below(count_leaves(&tree));
+            replace_leaf(&mut tree, &mut target, &Json::Num(n));
+            tree.render()
+        }
+        // Type confusion: a string, empty array, or null where a value was.
+        1 => {
+            let mut tree = tree;
+            let with = match rng.below(3) {
+                0 => Json::str("bogus"),
+                1 => Json::Arr(Vec::new()),
+                _ => Json::Null,
+            };
+            let mut target = rng.below(count_leaves(&tree));
+            replace_leaf(&mut tree, &mut target, &with);
+            tree.render()
+        }
+        // Drop a field anywhere in the tree.
+        2 => {
+            let mut tree = tree;
+            let mut target = rng.below(count_fields(&tree));
+            drop_field(&mut tree, &mut target);
+            tree.render()
+        }
+        // Raw splice of an overflowing or malformed numeric literal.
+        3 => {
+            let with = ["1e999", "-1e999", "1e99999999", "0x10", "1.2.3"][rng.below(5)];
+            splice_number(base, rng.below(64), with)
+        }
+        // Truncate the text mid-structure (wire-level garbage). Keep at
+        // least two trailing characters off: a prefix missing exactly the
+        // final `}` would be completed by the request envelope's own closing
+        // brace into a *valid* served payload that the local parse refuses.
+        _ => {
+            let cut = 1 + rng.below(base.len().saturating_sub(2));
+            base[..cut].to_string()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dual evaluation: local pipeline vs the live daemon.
+// ---------------------------------------------------------------------------
+
+/// Where a case ended up: evaluated to an answer, or refused at a stage.
+enum Decision {
+    /// Rendered answer JSON plus the count of non-finite numbers in its tree.
+    Accepted {
+        bytes: String,
+        non_finite: usize,
+    },
+    Rejected {
+        stage: &'static str,
+        message: String,
+    },
+}
+
+impl Decision {
+    fn accepted(&self) -> bool {
+        matches!(self, Decision::Accepted { .. })
+    }
+
+    fn stage(&self) -> &'static str {
+        match self {
+            Decision::Accepted { .. } => "accepted",
+            Decision::Rejected { stage, .. } => stage,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Decision::Accepted { .. } => "accepted".to_string(),
+            Decision::Rejected { stage, message } => format!("{stage} ({message})"),
+        }
+    }
+}
+
+fn count_non_finite(json: &Json) -> usize {
+    match json {
+        Json::Obj(fields) => fields.iter().map(|(_, v)| count_non_finite(v)).sum(),
+        Json::Arr(items) => items.iter().map(count_non_finite).sum(),
+        Json::Num(n) if !n.is_finite() => 1,
+        _ => 0,
+    }
+}
+
+/// The standalone admission pipeline, stage by stage. `run_contained` keeps
+/// an evaluation panic (should the vet ever let one through) from unwinding
+/// into the harness — it would surface as an `eval` rejection AND a parity
+/// mismatch against the daemon's `internal` quarantine... unless the daemon
+/// panicked identically, which its contained-panic counter would expose.
+fn local_decision(case: &str) -> Decision {
+    let json = match Json::parse(case) {
+        Ok(json) => json,
+        Err(e) => return Decision::Rejected { stage: "parse", message: e.to_string() },
+    };
+    let query = match Query::from_json(&json, &|name| resolve_model(name)) {
+        Ok(query) => query,
+        Err(message) => return Decision::Rejected { stage: "decode", message },
+    };
+    if let Err(e) = query.vet() {
+        return Decision::Rejected { stage: "vet", message: e.to_string() };
+    }
+    match query.run_contained() {
+        Ok(answer) => {
+            let tree = answer.to_json();
+            Decision::Accepted { non_finite: count_non_finite(&tree), bytes: tree.render() }
+        }
+        Err(message) => Decision::Rejected { stage: "eval", message },
+    }
+}
+
+/// One raw framed round trip against the daemon. A fresh connection per
+/// case: several rejection paths (oversized frames, protocol errors) end
+/// with a hang-up, and reusing a torn-down stream would misattribute the
+/// next case's outcome.
+fn served_decision(path: &std::path::Path, case: &str) -> Result<Decision, String> {
+    let mut stream = UnixStream::connect(path).map_err(|e| format!("connect: {e}"))?;
+    let request = format!(r#"{{"op":"query","query":{case}}}"#);
+    proto::write_frame(&mut stream, request.as_bytes(), MAX_FRAME)
+        .map_err(|e| format!("write: {e}"))?;
+    let bytes = match proto::read_frame(&mut stream, MAX_FRAME, || true) {
+        Ok(FrameRead::Frame(bytes)) => bytes,
+        Ok(other) => return Err(format!("expected a response frame, got {other:?}")),
+        Err(e) => return Err(format!("read: {e}")),
+    };
+    let json = Json::parse(std::str::from_utf8(&bytes).map_err(|e| format!("utf8: {e}"))?)
+        .map_err(|e| format!("response parse: {e}"))?;
+    let response = Response::from_json(&json).map_err(|e| format!("response decode: {e}"))?;
+    Ok(match response {
+        Response::Answer { answer, .. } => {
+            Decision::Accepted { non_finite: count_non_finite(&answer), bytes: answer.render() }
+        }
+        Response::Error { kind, message } => {
+            let stage = match kind {
+                ErrorKind::Protocol => "parse",
+                ErrorKind::BadRequest => "rejected",
+                ErrorKind::TooLarge => "too_large",
+                ErrorKind::Internal => "internal",
+            };
+            Decision::Rejected { stage, message }
+        }
+        other => Decision::Rejected { stage: "refused", message: format!("{other:?}") },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The harness.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Tally {
+    cases: u64,
+    accepted: u64,
+    parity_mismatches: u64,
+    byte_mismatches: u64,
+    non_finite_values: u64,
+    degenerate_accepted: u64,
+    transport_failures: u64,
+    local_stages: BTreeMap<&'static str, u64>,
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let socket = std::env::temp_dir().join(format!("paradl-fuzz-{}.sock", std::process::id()));
+    // Degradation off: the ladder rewrites query modes under pressure, which
+    // would (correctly) break byte parity with the unpressured local run.
+    let config = ServerConfig { degrade: false, ..ServerConfig::default() };
+    let server = Server::start(Bind::Unix(socket.clone()), config)
+        .map_err(|e| format!("start daemon: {e}"))?;
+
+    let bases = base_payloads();
+    let corpus = degenerate_corpus();
+    let mut cases: Vec<(String, String, bool)> = Vec::new(); // (label, payload, degenerate)
+    for (i, payload) in bases.iter().enumerate() {
+        cases.push((format!("valid/{i}"), payload.clone(), false));
+    }
+    for (name, payload) in &corpus {
+        cases.push((format!("degenerate/{name}"), payload.clone(), true));
+    }
+    for (i, base) in bases.iter().enumerate() {
+        let mut rng = Rng::new(args.seed ^ ((i as u64 + 1) << 20));
+        for round in 0..args.rounds {
+            cases.push((format!("mutated/{i}/{round}"), mutate(base, &mut rng), false));
+        }
+    }
+
+    let mut tally = Tally { cases: cases.len() as u64, ..Tally::default() };
+    let mut first_failures: Vec<String> = Vec::new();
+    let note = |list: &mut Vec<String>, message: String| {
+        eprintln!("FAIL {message}");
+        if list.len() < 16 {
+            list.push(message);
+        }
+    };
+
+    for (label, payload, degenerate) in &cases {
+        let local = local_decision(payload);
+        let served = match served_decision(&socket, payload) {
+            Ok(decision) => decision,
+            Err(e) => {
+                tally.transport_failures += 1;
+                note(&mut first_failures, format!("{label}: transport: {e}"));
+                continue;
+            }
+        };
+        *tally.local_stages.entry(local.stage()).or_default() += 1;
+
+        if local.accepted() != served.accepted() {
+            tally.parity_mismatches += 1;
+            note(
+                &mut first_failures,
+                format!("{label}: local {} vs served {}", local.describe(), served.describe()),
+            );
+        }
+        if let (
+            Decision::Accepted { bytes: local_bytes, non_finite },
+            Decision::Accepted { bytes: served_bytes, non_finite: served_non_finite },
+        ) = (&local, &served)
+        {
+            tally.accepted += 1;
+            tally.non_finite_values += (*non_finite + *served_non_finite) as u64;
+            if *non_finite + *served_non_finite > 0 {
+                note(&mut first_failures, format!("{label}: non-finite value in answer"));
+            }
+            if local_bytes != served_bytes {
+                tally.byte_mismatches += 1;
+                note(&mut first_failures, format!("{label}: answers differ bytewise"));
+            }
+        }
+        if *degenerate && local.accepted() {
+            tally.degenerate_accepted += 1;
+            note(&mut first_failures, format!("{label}: degenerate spec was evaluated"));
+        }
+    }
+
+    // The daemon must come through the whole set alive and panic-free.
+    let mut survived = false;
+    let mut panics_contained = u64::MAX;
+    let mut server_stats = Json::Null;
+    if let Ok(mut connection) = paradl_serve::client::Connection::connect(&Bind::Unix(socket)) {
+        survived = matches!(connection.roundtrip(&Request::Ping), Ok(Response::Pong));
+        if let Ok(Response::ServerStats(stats)) = connection.roundtrip(&Request::Stats) {
+            panics_contained =
+                stats.get("panics_contained").and_then(Json::usize).unwrap_or(usize::MAX) as u64;
+            server_stats = stats;
+        } else {
+            survived = false;
+        }
+    }
+    server.shutdown_and_join();
+
+    println!(
+        "fuzzed {} cases: {} accepted, parity mismatches {}, byte mismatches {}, \
+         non-finite {}, degenerate accepted {}, daemon panics contained {}, survived={}",
+        tally.cases,
+        tally.accepted,
+        tally.parity_mismatches,
+        tally.byte_mismatches,
+        tally.non_finite_values,
+        tally.degenerate_accepted,
+        panics_contained,
+        survived,
+    );
+
+    let ok = survived
+        && tally.parity_mismatches == 0
+        && tally.byte_mismatches == 0
+        && tally.non_finite_values == 0
+        && tally.degenerate_accepted == 0
+        && tally.transport_failures == 0
+        && panics_contained == 0;
+
+    let report = Json::obj([
+        ("benchmark", Json::str("paradl-fuzz-robustness")),
+        ("seed", Json::count(args.seed as usize)),
+        ("rounds_per_base", Json::count(args.rounds)),
+        ("cases", Json::count(tally.cases as usize)),
+        ("accepted", Json::count(tally.accepted as usize)),
+        (
+            "local_stages",
+            Json::obj(
+                tally
+                    .local_stages
+                    .iter()
+                    .map(|(stage, n)| (*stage, Json::count(*n as usize)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("parity_mismatches", Json::count(tally.parity_mismatches as usize)),
+        ("byte_mismatches", Json::count(tally.byte_mismatches as usize)),
+        ("non_finite_values", Json::count(tally.non_finite_values as usize)),
+        ("degenerate_accepted", Json::count(tally.degenerate_accepted as usize)),
+        ("transport_failures", Json::count(tally.transport_failures as usize)),
+        ("panics_contained", Json::count(panics_contained as usize)),
+        ("survived", Json::Bool(survived)),
+        ("ok", Json::Bool(ok)),
+        ("first_failures", Json::Arr(first_failures.iter().map(Json::str).collect())),
+        ("server", server_stats),
+    ]);
+    let mut rendered = report.render_pretty();
+    rendered.push('\n');
+    std::fs::write(&args.out, rendered).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("wrote {}", args.out);
+
+    if std::env::var("PARADL_ASSERT_ROBUST").is_ok_and(|v| v != "0") && !ok {
+        return Err("robustness invariants violated (see the report above)".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

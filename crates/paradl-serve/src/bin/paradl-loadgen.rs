@@ -105,6 +105,10 @@ struct StatsAgg {
     eval_us_sum: u64,
     queue_us_sum: u64,
     cache_hits: u64,
+    // Degradation-ladder engagement: answers the server stepped down under
+    // pressure instead of shedding. Visible next to shed/expired so the
+    // ladder's engagement rate per concurrency level is in the report.
+    degraded: u64,
     // Non-success outcomes. Counting these is what keeps shed requests from
     // silently inflating apparent health: a run that sheds half its load is
     // visible in BENCH_serve.json, not just slower.
@@ -121,6 +125,7 @@ impl StatsAgg {
         self.eval_us_sum += stats.eval_us;
         self.queue_us_sum += stats.queue_us;
         self.cache_hits += u64::from(stats.cache_hit);
+        self.degraded += u64::from(stats.degraded > 0);
     }
 
     fn merge(&mut self, other: StatsAgg) {
@@ -130,6 +135,7 @@ impl StatsAgg {
         self.eval_us_sum += other.eval_us_sum;
         self.queue_us_sum += other.queue_us_sum;
         self.cache_hits += other.cache_hits;
+        self.degraded += other.degraded;
         self.shed += other.shed;
         self.deadline_expired += other.deadline_expired;
         self.errors += other.errors;
@@ -219,6 +225,7 @@ struct Measurement {
     mean_coalesced: f64,
     mean_eval_us: f64,
     cache_hit_rate: f64,
+    degraded: u64,
     shed: u64,
     deadline_expired: u64,
     errors: u64,
@@ -237,6 +244,7 @@ fn measure(target: &Bind, concurrency: usize, window: Duration) -> Result<Measur
         mean_coalesced: agg.mean(agg.coalesced_sum),
         mean_eval_us: agg.mean(agg.eval_us_sum),
         cache_hit_rate: agg.mean(agg.cache_hits),
+        degraded: agg.degraded,
         shed: agg.shed,
         deadline_expired: agg.deadline_expired,
         errors: agg.errors,
@@ -252,6 +260,7 @@ fn measurement_json(m: &Measurement) -> Json {
         ("mean_coalesced", Json::Num(m.mean_coalesced)),
         ("mean_eval_us", Json::Num(m.mean_eval_us)),
         ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
+        ("degraded", Json::count(m.degraded as usize)),
         ("shed", Json::count(m.shed as usize)),
         ("deadline_expired", Json::count(m.deadline_expired as usize)),
         ("errors", Json::count(m.errors as usize)),
@@ -346,10 +355,14 @@ fn run() -> Result<ExitCode, String> {
                 );
             }
         }
-        if coalesced.shed + coalesced.deadline_expired + coalesced.errors > 0 {
+        if coalesced.degraded + coalesced.shed + coalesced.deadline_expired + coalesced.errors > 0 {
             println!(
-                "{:>11}  non-success: shed {} expired {} errors {}",
-                "", coalesced.shed, coalesced.deadline_expired, coalesced.errors
+                "{:>11}  pressure: degraded {} shed {} expired {} errors {}",
+                "",
+                coalesced.degraded,
+                coalesced.shed,
+                coalesced.deadline_expired,
+                coalesced.errors
             );
         }
         level_rows.push(Json::Obj(fields));

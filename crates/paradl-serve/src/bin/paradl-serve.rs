@@ -14,6 +14,8 @@ OPTIONS:
     --unix PATH       listen on a unix-domain socket at PATH
     --tcp ADDR        listen on a TCP address (e.g. 127.0.0.1:7700; port 0 picks one)
     --no-coalesce     disable request coalescing and engine caching (baseline mode)
+    --no-degrade      answer every query exactly as asked — disable the overload
+                      degradation ladder (FullRank -> TopK(10) -> Suggest)
     --queue-cap N     bounded queue depth before shedding (default 1024)
     --cache-cap N     engine-core LRU capacity (default 32; 0 disables)
     --linger-ms N     batching linger in milliseconds (default 1)
@@ -41,6 +43,7 @@ fn parse_args() -> Result<(Bind, ServerConfig), String> {
                 config.coalesce = false;
                 config.cache_entries = 0;
             }
+            "--no-degrade" => config.degrade = false,
             "--queue-cap" => {
                 config.queue_cap = value(&mut args, "--queue-cap")?
                     .parse()

@@ -243,6 +243,10 @@ pub struct AnswerStats {
     pub queue_us: u64,
     /// Time the (possibly shared) evaluation took, in µs.
     pub eval_us: u64,
+    /// How many rungs of the degradation ladder the server stepped this
+    /// query down under overload (0 = answered at the requested depth,
+    /// 1 = ranked depth capped at top-10, 2 = downgraded to a suggestion).
+    pub degraded: usize,
 }
 
 impl AnswerStats {
@@ -253,6 +257,7 @@ impl AnswerStats {
             ("batch_cells", Json::count(self.batch_cells)),
             ("queue_us", Json::count(self.queue_us as usize)),
             ("eval_us", Json::count(self.eval_us as usize)),
+            ("degraded", Json::count(self.degraded)),
         ])
     }
 
@@ -268,6 +273,7 @@ impl AnswerStats {
             batch_cells: field("batch_cells")?,
             queue_us: field("queue_us")? as u64,
             eval_us: field("eval_us")? as u64,
+            degraded: field("degraded")?,
         })
     }
 }
@@ -532,6 +538,7 @@ mod tests {
             batch_cells: 2,
             queue_us: 120,
             eval_us: 4500,
+            degraded: 1,
         };
         for response in [
             Response::Answer { answer: Json::obj([("kind", Json::str("ranked"))]), stats },

@@ -42,6 +42,18 @@
 //!   connection lives, daemon lives.
 //! * Oversized, truncated, or checksum-damaged frames: the connection is
 //!   dropped (the stream cannot be resynchronized), the daemon lives.
+//! * Hostile payloads: every query passes [`Query::vet`] at enqueue —
+//!   degenerate models, non-finite cluster rates, overflowing batch sizes
+//!   and enumeration blow-ups are refused as [`ErrorKind::BadRequest`]
+//!   (with the offending field named) before they cost queue space or an
+//!   engine build. A spec that slips past vet and still defeats engine
+//!   construction surfaces the typed `EngineError` the same way.
+//! * Overload: before shedding, the batcher walks the **degradation
+//!   ladder** — under queue or deadline pressure a ranked query steps down
+//!   `FullRank → TopK(10) → Suggest` (the answer says so via
+//!   `AnswerStats::degraded`), and only a full queue sheds outright.
+//!   `ServerConfig::degrade = false` (`--no-degrade`) restores the strict
+//!   answer-as-asked behavior.
 //! * Full queue: [`Response::Shed`] without evaluation (backpressure).
 //! * Expired deadline at dequeue: [`Response::DeadlineExpired`] without
 //!   evaluation.
@@ -69,7 +81,9 @@ use crate::fault::FaultSchedule;
 use crate::proto::{self, AnswerStats, ErrorKind, FrameRead, Request, Response, MAX_FRAME};
 use crate::resolve::resolve_model;
 use paradl_core::cluster::ClusterCache;
-use paradl_core::engine::{cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache};
+use paradl_core::engine::{
+    cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache, EngineError,
+};
 use paradl_core::grid::{GridSweep, QueryGrid};
 use paradl_core::jsonio::Json;
 use paradl_core::oracle::Oracle;
@@ -143,6 +157,11 @@ pub struct ServerConfig {
     /// Socket-level write timeout; a peer that won't drain its receive
     /// buffer for this long is evicted.
     pub write_timeout: Duration,
+    /// Walk the degradation ladder under overload: ranked queries step
+    /// down `FullRank → TopK(10) → Suggest` under queue or deadline
+    /// pressure instead of being answered late or shed. `false` answers
+    /// every query exactly as asked (and sheds under pressure as before).
+    pub degrade: bool,
     /// Server-side fault injection: every accepted connection is wrapped
     /// in a plan drawn from this schedule. `None` (production) leaves the
     /// streams untouched.
@@ -161,6 +180,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("max_frame", &self.max_frame)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
+            .field("degrade", &self.degrade)
             .field("faults", &self.faults)
             .field("eval_hook", &self.eval_hook.as_ref().map(|_| "<hook>"))
             .finish()
@@ -177,6 +197,7 @@ impl Default for ServerConfig {
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(5),
+            degrade: true,
             faults: None,
             eval_hook: None,
         }
@@ -195,6 +216,8 @@ struct Counters {
     evictions: AtomicU64,
     panics_contained: AtomicU64,
     batcher_restarts: AtomicU64,
+    degraded: AtomicU64,
+    degraded_to_suggest: AtomicU64,
 }
 
 struct Shared {
@@ -202,6 +225,9 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     cache: EngineCache,
+    /// EWMA of recent evaluation times in µs (`(3·old + sample) / 4`),
+    /// the deadline-pressure signal for the degradation ladder.
+    eval_ewma_us: AtomicU64,
 }
 
 impl Shared {
@@ -222,6 +248,11 @@ impl Shared {
             ("evictions", Json::count(c.evictions.load(Ordering::Relaxed) as usize)),
             ("panics_contained", Json::count(c.panics_contained.load(Ordering::Relaxed) as usize)),
             ("batcher_restarts", Json::count(c.batcher_restarts.load(Ordering::Relaxed) as usize)),
+            ("degraded", Json::count(c.degraded.load(Ordering::Relaxed) as usize)),
+            (
+                "degraded_to_suggest",
+                Json::count(c.degraded_to_suggest.load(Ordering::Relaxed) as usize),
+            ),
             (
                 "engine_cache",
                 Json::obj([
@@ -239,6 +270,8 @@ struct Pending {
     deadline: Option<Instant>,
     enqueued: Instant,
     reply: mpsc::Sender<Response>,
+    /// Degradation-ladder rungs applied to `query.mode` (0 = as asked).
+    degraded: usize,
 }
 
 enum Listener {
@@ -307,6 +340,7 @@ impl Server {
             config,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            eval_ewma_us: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::sync_channel::<Pending>(queue_cap);
 
@@ -543,14 +577,13 @@ fn enqueue_query(
     tx: &SyncSender<Pending>,
     shared: &Arc<Shared>,
 ) -> Response {
-    // Reject what the oracle would reject, before it costs queue space.
-    if query.model.is_none() || query.config.is_none() || query.cluster.is_none() {
+    // Reject what the oracle would reject, before it costs queue space:
+    // the full vet pass (workload presence, model/config validity,
+    // finite cluster rates, enumeration admission cap) names the bad
+    // field in the refusal.
+    if let Err(e) = query.vet() {
         shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::error(ErrorKind::BadRequest, "query workload is incomplete");
-    }
-    if let Err(e) = query.config.expect("checked above").validate() {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        return Response::error(ErrorKind::BadRequest, format!("invalid config: {e}"));
+        return Response::error(ErrorKind::BadRequest, e.to_string());
     }
     if shared.is_shutdown() {
         return Response::ShuttingDown;
@@ -562,6 +595,7 @@ fn enqueue_query(
         deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
         enqueued: now,
         reply: reply_tx,
+        degraded: 0,
     };
     match tx.try_send(pending) {
         Ok(()) => match reply_rx.recv() {
@@ -619,16 +653,89 @@ fn batcher_loop(rx: &Receiver<Pending>, shared: &Arc<Shared>) {
     }
 }
 
+/// The ranked depth the first ladder rung caps queries at.
+const DEGRADE_TOP_K: usize = 10;
+
+/// Queue-pressure rung for a drained batch of `len` queries: past a quarter
+/// of the queue capacity ranked depth is capped (rung 1), past half every
+/// ranked query becomes a suggestion (rung 2). The thresholds have small
+/// floors so tiny test queues behave proportionally.
+fn queue_rung(len: usize, queue_cap: usize) -> usize {
+    if len >= (queue_cap / 2).max(4) {
+        2
+    } else if len >= (queue_cap / 4).max(2) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Deadline-pressure rung: how the query's remaining budget compares with
+/// the recent evaluation-time EWMA. No history yet (or no deadline) means
+/// no pressure.
+fn deadline_rung(deadline: Option<Instant>, ewma_us: u64) -> usize {
+    let Some(deadline) = deadline else { return 0 };
+    if ewma_us == 0 {
+        return 0;
+    }
+    let remaining = deadline.saturating_duration_since(Instant::now()).as_micros() as u64;
+    if remaining < ewma_us {
+        2
+    } else if remaining < ewma_us.saturating_mul(2) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Steps a ranked query down `rung` ladder rungs (rung 1 caps the ranking
+/// depth at [`DEGRADE_TOP_K`], rung 2 downgrades to a suggestion), returning
+/// how many rungs actually changed the answer mode. Non-ranked modes are
+/// already at the bottom of the ladder and never change.
+fn apply_degradation(query: &mut Query, rung: usize) -> usize {
+    match (query.mode, rung) {
+        (QueryMode::Suggest | QueryMode::Survey { .. }, _) | (_, 0) => 0,
+        (QueryMode::TopK(_) | QueryMode::FullRank, 2..) => {
+            query.mode = QueryMode::Suggest;
+            2
+        }
+        (QueryMode::FullRank, 1) => {
+            query.mode = QueryMode::TopK(DEGRADE_TOP_K);
+            1
+        }
+        (QueryMode::TopK(k), 1) if k > DEGRADE_TOP_K => {
+            query.mode = QueryMode::TopK(DEGRADE_TOP_K);
+            1
+        }
+        (QueryMode::TopK(_), 1) => 0,
+    }
+}
+
 fn process_batch(batch: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shared>) {
     // BTreeMap for deterministic group order (stable stats/telemetry).
     let mut groups: BTreeMap<String, Vec<Pending>> = BTreeMap::new();
     let mut singles = Vec::new();
-    for p in batch {
+    let pressure = queue_rung(batch.len(), shared.config.queue_cap.max(1));
+    let ewma_us = shared.eval_ewma_us.load(Ordering::Relaxed);
+    for mut p in batch {
         if let Some(deadline) = p.deadline {
             if Instant::now() >= deadline {
                 shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 let _ = p.reply.send(Response::DeadlineExpired);
                 continue;
+            }
+        }
+        // The degradation ladder: answer shallower instead of late (or not
+        // at all). Shedding still happens — but only at enqueue when the
+        // queue itself is full, past the last rung.
+        if shared.config.degrade {
+            let rung = pressure.max(deadline_rung(p.deadline, ewma_us));
+            p.degraded = apply_degradation(&mut p.query, rung);
+            if p.degraded > 0 {
+                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                if p.degraded >= 2 {
+                    shared.counters.degraded_to_suggest.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         // Batch-stage hook: deliberately OUTSIDE the per-query containment,
@@ -653,6 +760,13 @@ fn process_batch(batch: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shared>) {
     for (_, group) in groups {
         answer_ranked_group(group, sweep, shared);
     }
+}
+
+/// Feeds one evaluation-time sample into the deadline-pressure EWMA.
+fn record_eval_time(shared: &Arc<Shared>, eval_us: u64) {
+    let old = shared.eval_ewma_us.load(Ordering::Relaxed);
+    let next = if old == 0 { eval_us } else { (3 * old + eval_us) / 4 };
+    shared.eval_ewma_us.store(next, Ordering::Relaxed);
 }
 
 /// The problem class a ranked query belongs to. Queries in the same class
@@ -719,6 +833,8 @@ fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
     let response = match run_contained(&p.query, shared, || p.query.run()) {
         Ok(Ok(answer)) => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            let eval_us = start.elapsed().as_micros() as u64;
+            record_eval_time(shared, eval_us);
             Response::Answer {
                 answer: answer.to_json(),
                 stats: AnswerStats {
@@ -726,7 +842,8 @@ fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
                     coalesced: 1,
                     batch_cells: 1,
                     queue_us,
-                    eval_us: start.elapsed().as_micros() as u64,
+                    eval_us,
+                    degraded: p.degraded,
                 },
             }
         }
@@ -755,17 +872,23 @@ fn answer_single(p: Pending, shared: &Arc<Shared>) {
         let topology = shared
             .cache
             .cluster(cluster_fingerprint(cluster), || Arc::new(ClusterCache::new(cluster)));
-        let core = shared.cache.core(key, || {
-            CostEngine::with_cache(model, &cluster.device, cluster, config, &topology).core_handle()
-        });
-        let engine = CostEngine::from_core(model, cluster, config, core);
+        // A spec that passed vet but still defeats engine construction
+        // (non-finite tables) comes back as a typed EngineError — never
+        // cached, so the cache holds only buildable cores.
+        let (core, _) = shared.cache.try_core(key, || {
+            Ok(CostEngine::with_cache(model, &cluster.device, cluster, config, &topology)?
+                .core_handle())
+        })?;
+        let engine = CostEngine::from_core(model, cluster, config, core)?;
         let oracle = Oracle::new(model, &cluster.device, cluster, config);
-        (oracle.answer_with_engine(&engine, query), cache_hit)
+        Ok::<_, EngineError>((oracle.answer_with_engine(&engine, query), cache_hit))
     });
 
     let response = match outcome {
-        Ok((answer, cache_hit)) => {
+        Ok(Ok((answer, cache_hit))) => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            let eval_us = start.elapsed().as_micros() as u64;
+            record_eval_time(shared, eval_us);
             Response::Answer {
                 answer: answer.to_json(),
                 stats: AnswerStats {
@@ -773,9 +896,14 @@ fn answer_single(p: Pending, shared: &Arc<Shared>) {
                     coalesced: 1,
                     batch_cells: 1,
                     queue_us,
-                    eval_us: start.elapsed().as_micros() as u64,
+                    eval_us,
+                    degraded: p.degraded,
                 },
             }
+        }
+        Ok(Err(e)) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            Response::error(ErrorKind::BadRequest, e.to_string())
         }
         Err(quarantined) => quarantined,
     };
@@ -800,6 +928,39 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
     batches.dedup();
 
     let cache_hit = shared.cache.contains_core(engine_fingerprint(&model, &cluster, &base));
+
+    // Pre-flight the group's shared engine core fallibly: a spec that passed
+    // vet can still defeat construction (finite inputs whose derived tables
+    // overflow to non-finite). The grid's internals assume buildable
+    // engines, so refuse the whole group with a typed error here instead of
+    // letting the sweep panic into quarantine. On success the core is
+    // cached, so the sweep below pays nothing extra.
+    let topology = shared
+        .cache
+        .cluster(cluster_fingerprint(&cluster), || Arc::new(ClusterCache::new(&cluster)));
+    let preflight = run_contained(&lead.query, shared, || {
+        shared.cache.try_core(engine_fingerprint(&model, &cluster, &base), || {
+            Ok(CostEngine::with_cache(&model, &cluster.device, &cluster, base, &topology)?
+                .core_handle())
+        })
+    });
+    match preflight {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => {
+            for p in group {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(Response::error(ErrorKind::BadRequest, e.to_string()));
+            }
+            return;
+        }
+        Err(quarantined) => {
+            for p in group {
+                let _ = p.reply.send(quarantined.clone());
+            }
+            return;
+        }
+    }
+
     let grid = QueryGrid::new(constraints)
         .with_model(model, base)
         .with_batches(batches.iter().copied())
@@ -820,6 +981,7 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
         }
     };
     let eval_us = start.elapsed().as_micros() as u64;
+    record_eval_time(shared, eval_us);
 
     for p in group {
         let batch = p.query.config.expect("validated at enqueue").batch_size;
@@ -834,6 +996,7 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
                 batch_cells,
                 queue_us: start.duration_since(p.enqueued).as_micros() as u64,
                 eval_us,
+                degraded: p.degraded,
             },
         });
     }

@@ -230,6 +230,87 @@ fn full_queues_shed_and_expired_deadlines_are_refused() {
 }
 
 #[test]
+fn overload_degrades_ranked_queries_instead_of_shedding() {
+    let (bind, _path) = temp_socket();
+    // queue_cap 8 puts the ladder thresholds at 2 (cap depth) and 4
+    // (downgrade to suggestion); a long linger guarantees all four ranked
+    // queries below land in one drained batch, crossing the second rung.
+    let config = ServerConfig {
+        queue_cap: 8,
+        linger: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(bind.clone(), config).unwrap();
+
+    let workers: Vec<_> = [128usize, 256, 512, 1024]
+        .into_iter()
+        .map(|batch| {
+            let bind = bind.clone();
+            std::thread::spawn(move || {
+                let mut connection = Connection::connect(&bind).unwrap();
+                connection.query(&query(QueryMode::FullRank, batch), None).unwrap()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let (answer, stats) = match worker.join().unwrap() {
+            Response::Answer { answer, stats } => (answer, stats),
+            other => panic!("degradation must still answer, got {other:?}"),
+        };
+        assert_eq!(stats.degraded, 2, "a 4-deep batch against queue_cap 8 hits rung 2");
+        assert_eq!(
+            answer.get("kind").and_then(Json::string),
+            Some("suggestion"),
+            "rung 2 downgrades FullRank to a suggestion"
+        );
+    }
+
+    // The server-wide counters saw all four downgrades.
+    let mut control = Connection::connect(&bind).unwrap();
+    let stats = match control.roundtrip(&Request::Stats).unwrap() {
+        Response::ServerStats(json) => json,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(stats.get("degraded").and_then(Json::usize).unwrap_or(0) >= 4, "{stats:?}");
+    assert!(stats.get("degraded_to_suggest").and_then(Json::usize).unwrap_or(0) >= 4, "{stats:?}");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn no_degrade_answers_exactly_as_asked_under_the_same_pressure() {
+    let (bind, _path) = temp_socket();
+    let config = ServerConfig {
+        queue_cap: 8,
+        linger: Duration::from_millis(300),
+        degrade: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(bind.clone(), config).unwrap();
+
+    let workers: Vec<_> = [128usize, 256, 512, 1024]
+        .into_iter()
+        .map(|batch| {
+            let bind = bind.clone();
+            std::thread::spawn(move || {
+                let mut connection = Connection::connect(&bind).unwrap();
+                connection.query(&query(QueryMode::FullRank, batch), None).unwrap()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let (answer, stats) = match worker.join().unwrap() {
+            Response::Answer { answer, stats } => (answer, stats),
+            other => panic!("expected an answer, got {other:?}"),
+        };
+        assert_eq!(stats.degraded, 0, "--no-degrade must never touch the query");
+        assert_eq!(answer.get("kind").and_then(Json::string), Some("ranked"));
+    }
+
+    server.shutdown_and_join();
+}
+
+#[test]
 fn graceful_shutdown_drains_queued_queries() {
     let (bind, path) = temp_socket();
     let config = ServerConfig { linger: Duration::from_millis(300), ..ServerConfig::default() };

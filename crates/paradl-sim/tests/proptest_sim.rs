@@ -102,7 +102,7 @@ proptest! {
         prop_assert!(!candidates.is_empty());
         let strategy = candidates[pick % candidates.len()];
 
-        let engine = CostEngine::new(&model, &device, &cluster, config);
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
         let lb = engine.lower_bound(strategy);
         let sim = Simulator::new(&device, &cluster)
             .with_overheads(overheads)
@@ -178,7 +178,7 @@ proptest! {
         let cluster = ClusterSpec::paper_system();
         let strategy = Strategy::Pipeline { p: p.min(model.num_layers()), segments };
 
-        let engine = CostEngine::new(&model, &device, &cluster, config);
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
         let projected_fb = engine.estimate(strategy).per_iteration().forward_backward;
         let sim = Simulator::new(&device, &cluster)
             .with_overheads(OverheadModel::ideal())

@@ -30,7 +30,7 @@ fn answer_matches_the_legacy_role_methods() {
     // Suggest ≡ Oracle::suggest.
     let suggest = Query::default().with_constraints(constraints()).with_mode(QueryMode::Suggest);
     assert_eq!(
-        render(&oracle.answer(&suggest)),
+        render(&oracle.answer(&suggest).expect("engine builds")),
         render(&QueryAnswer::Suggestion(oracle.suggest(&constraints()))),
     );
 
@@ -38,7 +38,7 @@ fn answer_matches_the_legacy_role_methods() {
     let survey =
         Query::default().with_constraints(constraints()).with_mode(QueryMode::Survey { pes: 16 });
     assert_eq!(
-        render(&oracle.answer(&survey)),
+        render(&oracle.answer(&survey).expect("engine builds")),
         render(&QueryAnswer::Survey(oracle.survey(16, &constraints()))),
     );
 
@@ -48,7 +48,7 @@ fn answer_matches_the_legacy_role_methods() {
     let mut expected = constraints();
     expected.top_k = Some(5);
     assert_eq!(
-        render(&oracle.answer(&top)),
+        render(&oracle.answer(&top).expect("engine builds")),
         render(&QueryAnswer::Ranked(oracle.search(&expected))),
     );
 
@@ -59,7 +59,7 @@ fn answer_matches_the_legacy_role_methods() {
     let mut expected = constraints();
     expected.top_k = None;
     assert_eq!(
-        render(&oracle.answer(&full)),
+        render(&oracle.answer(&full).expect("engine builds")),
         render(&QueryAnswer::Ranked(oracle.search(&expected))),
     );
 }
@@ -79,7 +79,11 @@ fn query_run_matches_a_hand_built_oracle() {
             .with_constraints(constraints())
             .with_mode(mode);
         let standalone = query.run().expect("complete query");
-        assert_eq!(render(&standalone), render(&oracle.answer(&query)), "{mode:?}");
+        assert_eq!(
+            render(&standalone),
+            render(&oracle.answer(&query).expect("engine builds")),
+            "{mode:?}"
+        );
     }
 }
 
@@ -114,4 +118,49 @@ fn queries_survive_the_wire_representation() {
 
     // And the round-tripped query answers identically.
     assert_eq!(render(&back.run().expect("complete")), render(&query.run().expect("complete")),);
+}
+
+#[test]
+fn constraint_edge_cases_yield_typed_answers_not_panics() {
+    let (model, cluster, config) = workload();
+    let base = Query::default().with_model(model.clone()).with_config(config).with_cluster(cluster);
+
+    // top_k = 0: a valid ranked request that keeps nothing.
+    let answer = base
+        .clone()
+        .with_constraints(constraints())
+        .with_mode(QueryMode::TopK(0))
+        .run()
+        .expect("top_k = 0 is a valid, if useless, request");
+    let report = answer.report().expect("ranked mode answers ranked");
+    assert!(report.ranked.is_empty(), "top_k = 0 keeps no candidates");
+    assert!(report.enumerated > 0, "the space was still enumerated");
+
+    // max_pes = 1, below every parallel strategy's smallest budget: only
+    // serial can be ranked.
+    let answer = base
+        .clone()
+        .with_constraints(Constraints { max_pes: 1, ..constraints() })
+        .with_mode(QueryMode::FullRank)
+        .run()
+        .expect("a serial-only budget still answers");
+    let report = answer.report().expect("ranked mode answers ranked");
+    assert!(!report.ranked.is_empty(), "serial always fits a one-PE budget");
+    assert!(report.ranked.iter().all(|c| c.strategy.total_pes() == 1), "one PE max");
+
+    // An empty strategy space (memory capacity below any candidate's
+    // footprint): typed empty answers across modes, never a panic.
+    let starved = Constraints { memory_capacity_bytes: 1.0, ..constraints() };
+    let answer = base
+        .clone()
+        .with_constraints(starved)
+        .with_mode(QueryMode::Suggest)
+        .run()
+        .expect("suggest still answers");
+    assert!(answer.suggestion().is_none(), "nothing fits in one byte");
+    let answer =
+        base.with_constraints(starved).with_mode(QueryMode::FullRank).run().expect("ranked");
+    let report = answer.report().expect("ranked mode answers ranked");
+    assert!(report.ranked.is_empty(), "nothing fits in one byte");
+    assert_eq!(report.pruned_by_memory, report.enumerated, "everything was memory-pruned");
 }
