@@ -34,7 +34,17 @@
 //!   [`ClusterCache`] that can itself be `Arc`-shared between every engine
 //!   on the same cluster ([`CostEngine::with_cache`]),
 //! * the model's scaling-limit table ([`ModelLimits`]) used by candidate
-//!   enumeration and validation.
+//!   enumeration and validation,
+//! * the per-candidate communication coefficients ([`CommCoef`], from
+//!   [`CostEngine::comm_prep`]): every batch-dependent communication term
+//!   of the cost model is written in batch-last form
+//!   `fixed + batch · per_sample`, so four stored scalars per candidate
+//!   let [`CostEngine::comm_time_prepped`] reconstruct the *exact*
+//!   communication time of any batch with a couple of fused
+//!   multiply-adds — no collective-model derivation, and no division, in
+//!   the grid kernel's hot loop. The grid sweep tabulates one coefficient
+//!   column per (model, cluster) pair and reuses it across every batch
+//!   cell.
 //!
 //! **Batch-dependent** (rewritten in place by [`CostEngine::rebatch`],
 //! `O(layers²)` float max/fma operations, no allocation, no device, layer or
@@ -188,6 +198,43 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// Batch-invariant communication coefficients of one candidate on one
+/// (model, cluster) pair, produced by [`CostEngine::comm_prep`] and consumed
+/// by [`CostEngine::comm_time_prepped`]. The field meaning is per strategy
+/// family (see `comm_prep`); unused fields are zero. The grid sweep
+/// tabulates one coefficient column per (model, cluster) pair, aligned with
+/// the model's candidate superset, so the per-candidate evaluation of every
+/// batch's cell is reduced to a handful of flops. Every batch-dependent
+/// communication term of the cost model is in batch-last form
+/// `fixed + batch · per_sample`, so four coefficients (one 32-byte row)
+/// reconstruct any family's exact time with no per-candidate division
+/// (the pipeline family keeps one, by the cell batch).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CommCoef {
+    /// Gradient-exchange collective time (the `*_allreduce` value), or the
+    /// pipeline dataset prefactor `2·D·(p + s − 2)`.
+    pub(crate) a: f64,
+    /// Fixed latency part: halo `pairs·2·p2p(0)`, collective
+    /// `collective_layers·α`, or the pipeline effective-link α.
+    pub(crate) b: f64,
+    /// The per-sample slope the batch multiplies (`halo_per_sample` /
+    /// `collective_per_sample` / `boundary_per_sample`).
+    pub(crate) c: f64,
+    /// Strategy-derived scale: the collective families' `3·(p − 1)`, or
+    /// the pipeline depth `p` (`> 1` flags a communicating pipeline).
+    pub(crate) d: f64,
+}
+
+/// The per-split-mask index into the halo aggregate tables: one bit per
+/// spatial dimension that is actually split (shared by
+/// [`CostEngine::halo_time`] and [`CostEngine::comm_prep`]).
+#[inline]
+fn halo_mask(split: SpatialSplit) -> usize {
+    (usize::from(split.pw > 1))
+        | (usize::from(split.ph > 1) << 1)
+        | (usize::from(split.pd > 1) << 2)
+}
 
 /// Batch-invariant aggregates of one pipeline depth `p`: the compute and
 /// boundary quantities of the balanced layer groups. The per-stage memory is
@@ -689,10 +736,8 @@ impl<'a> CostEngine<'a> {
         strategy: Strategy,
         memory_per_pe_bytes: f64,
     ) -> CostEstimate {
-        let d = self.config.dataset_size as f64;
         let b = self.config.batch_size as f64;
         let iters = self.iters_f;
-        let delta = self.config.bytes_per_item;
 
         let mut breakdown = PhaseBreakdown::default();
         let (fb, wu) = self.compute_terms(strategy);
@@ -708,25 +753,14 @@ impl<'a> CostEngine<'a> {
                 let p = split.total();
                 breakdown.gradient_exchange = iters * self.weight_allreduce(p);
                 let comm = self.cluster.comm_model(p);
-                breakdown.halo_exchange = iters * self.halo_time(&comm, split, b);
+                breakdown.halo_exchange = iters * self.halo_time(&comm, split, 1.0, b);
             }
             Strategy::Filter { p } | Strategy::Channel { p } => {
                 let comm = self.cluster.comm_model(p);
                 breakdown.fb_collective = iters * self.layerwise_collective(&comm, p, p, b);
             }
             Strategy::Pipeline { p, segments } => {
-                let agg = self.pipeline_agg(p);
-                if p > 1 {
-                    let s = segments.max(1) as f64;
-                    let pf = p as f64;
-                    let comm = self.cluster.comm_model(p.min(self.cluster.gpus_per_node.max(2)));
-                    let max_p2p = if agg.has_boundary {
-                        comm.p2p(b / s * agg.max_boundary_act * delta)
-                    } else {
-                        0.0
-                    };
-                    breakdown.pipeline_p2p = 2.0 * d * (pf + s - 2.0) / b * max_p2p;
-                }
+                breakdown.pipeline_p2p = self.pipeline_p2p(p, segments);
             }
             Strategy::DataFilter { p1, p2 } => {
                 let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
@@ -736,7 +770,7 @@ impl<'a> CostEngine<'a> {
             Strategy::DataSpatial { p1, split } => {
                 let p2 = split.total();
                 let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
-                breakdown.halo_exchange = iters * self.halo_time(&intra, split, b / p1 as f64);
+                breakdown.halo_exchange = iters * self.halo_time(&intra, split, p1 as f64, b);
                 breakdown.gradient_exchange = iters * self.ds_allreduce(p1, p2);
             }
         }
@@ -753,6 +787,387 @@ impl<'a> CostEngine<'a> {
     pub fn lower_bound(&self, strategy: Strategy) -> f64 {
         let (fb, wu) = self.compute_terms(strategy);
         fb + wu
+    }
+
+    /// Fused prep pass: `(memory_per_pe, lower_bound)` from a single
+    /// strategy dispatch. Bit-identical to calling [`CostEngine::memory_per_pe`]
+    /// and [`CostEngine::lower_bound`] separately (same sub-expressions in
+    /// the same order), but the SoA prep loop in [`crate::grid`] only pays
+    /// one `match` per candidate.
+    pub fn prep_terms(&self, strategy: Strategy) -> (f64, f64) {
+        let core = &*self.core;
+        let b = self.config.batch_size as f64;
+        let d = self.config.dataset_size as f64;
+        let iters = self.iters_f;
+        match strategy {
+            Strategy::Serial => (
+                core.gamma_delta * self.mem_raw(1.0, 1.0, b),
+                d * core.fw_bw_per_sample + iters * core.wu_per_iteration,
+            ),
+            Strategy::Data { p } => (
+                core.gamma_delta * self.mem_raw(1.0, 1.0, b / p as f64),
+                d / p as f64 * core.fw_bw_per_sample + iters * core.wu_per_iteration,
+            ),
+            Strategy::Spatial { split } => (
+                core.gamma_delta * self.mem_raw(split.total() as f64, 1.0, b),
+                d / split.total() as f64 * core.fw_bw_per_sample + iters * core.wu_per_iteration,
+            ),
+            Strategy::Filter { p } | Strategy::Channel { p } => {
+                let pf = p as f64;
+                (
+                    core.gamma_delta * self.mem_raw(1.0, pf, b),
+                    d / pf * core.fw_bw_per_sample + iters / pf * core.wu_per_iteration,
+                )
+            }
+            Strategy::Pipeline { p, segments } => {
+                let agg = self.pipeline_agg(p);
+                let s = segments.max(1) as f64;
+                let pf = p as f64;
+                (
+                    core.gamma_delta * self.pipe_mem[self.depth_index(p)],
+                    d * (pf + s - 1.0) / s * (agg.max_fw + agg.max_bw) + iters * agg.max_wu,
+                )
+            }
+            Strategy::DataFilter { p1, p2 } => {
+                let p = (p1 * p2) as f64;
+                (
+                    core.gamma_delta * self.mem_raw(p1 as f64, p2 as f64, b),
+                    d / p * core.fw_bw_per_sample + iters / p2 as f64 * core.wu_per_iteration,
+                )
+            }
+            Strategy::DataSpatial { p1, split } => {
+                let p = (p1 * split.total()) as f64;
+                (
+                    core.gamma_delta * self.mem_raw(p, 1.0, b),
+                    d / p * core.fw_bw_per_sample + iters * core.wu_per_iteration,
+                )
+            }
+        }
+    }
+
+    /// Scalar epoch time of `strategy`: bit-identical to
+    /// `estimate(strategy).epoch_time()` without materialising the
+    /// [`CostEstimate`]. The candidate-evaluation kernel in [`crate::kernel`]
+    /// uses this to rank survivors and only builds full estimates for the
+    /// handful of candidates that enter the heap or a budget slot.
+    pub fn epoch_time(&self, strategy: Strategy) -> f64 {
+        let (fb, wu) = self.compute_terms(strategy);
+        (fb + wu) + self.comm_time(strategy)
+    }
+
+    /// The communication part of `epoch_time`: bit-identical to
+    /// `estimate(strategy).per_epoch.communication()`. Exactness hinges on
+    /// `x + 0.0 == x` for every non-negative IEEE-754 `x`: the four-term
+    /// left-associated sum in [`crate::cost::PhaseBreakdown::communication`]
+    /// collapses to the per-family non-zero terms in the same order.
+    pub(crate) fn comm_time(&self, strategy: Strategy) -> f64 {
+        let b = self.config.batch_size as f64;
+        let iters = self.iters_f;
+        match strategy {
+            Strategy::Serial => 0.0,
+            Strategy::Data { p } => iters * self.weight_allreduce(p),
+            Strategy::Spatial { split } => {
+                let p = split.total();
+                let ge = iters * self.weight_allreduce(p);
+                let comm = self.cluster.comm_model(p);
+                ge + iters * self.halo_time(&comm, split, 1.0, b)
+            }
+            Strategy::Filter { p } | Strategy::Channel { p } => {
+                let comm = self.cluster.comm_model(p);
+                iters * self.layerwise_collective(&comm, p, p, b)
+            }
+            Strategy::Pipeline { p, segments } => self.pipeline_p2p(p, segments),
+            Strategy::DataFilter { p1, p2 } => {
+                let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
+                let fbcoll = iters * self.layerwise_collective(&intra, p2, p1 * p2, b);
+                let ge = iters * self.df_allreduce(p1, p2);
+                ge + fbcoll
+            }
+            Strategy::DataSpatial { p1, split } => {
+                let p2 = split.total();
+                let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
+                let halo = iters * self.halo_time(&intra, split, p1 as f64, b);
+                let ge = iters * self.ds_allreduce(p1, p2);
+                ge + halo
+            }
+        }
+    }
+
+    /// Tabulates the batch-invariant communication coefficients of
+    /// `strategy` for [`CostEngine::comm_time_prepped`]. Every value is a
+    /// function of the model core, the cluster and the strategy only —
+    /// never of the batch — so one coefficient pass per (model, cluster)
+    /// pair serves every batch of a grid sweep (the whole point: the
+    /// collective/link derivations behind `comm_time` are the dominant
+    /// per-candidate cost, and they are re-paid per batch without this).
+    ///
+    /// Per family: `a` is the gradient-exchange collective time
+    /// (`weight_allreduce` / `df_allreduce` / `ds_allreduce`); `b` the
+    /// fixed latency part of the batch-dependent term; `c` the per-sample
+    /// slope the batch multiplies (computed by the exact shared helpers
+    /// `halo_per_sample` / `collective_per_sample` / `boundary_per_sample`,
+    /// so the stored value is the bit-exact sub-expression of the direct
+    /// paths); `d` the collective families' `3·(p − 1)` scale or the
+    /// pipeline depth. `Serial` doesn't communicate (all-zero
+    /// coefficients).
+    pub(crate) fn comm_prep(&self, strategy: Strategy) -> CommCoef {
+        let core = &*self.core;
+        let zero = CommCoef::default();
+        match strategy {
+            Strategy::Serial => zero,
+            Strategy::Pipeline { p, segments } => {
+                // Zero coefficients encode the `p ≤ 1` (no communication)
+                // case; `d = p ≥ 2` flags the real formula. A boundary-less
+                // pipeline zeroes α and the per-sample slope so the
+                // reconstructed `max_p2p` collapses to the same `0.0` the
+                // direct path takes.
+                if p <= 1 {
+                    return zero;
+                }
+                let agg = self.pipeline_agg(p);
+                let d = self.config.dataset_size as f64;
+                let s = segments.max(1) as f64;
+                let comm = self.cluster.comm_model(p.min(self.cluster.gpus_per_node.max(2)));
+                let (alpha, per_sample) = if agg.has_boundary {
+                    let eff = comm.link.with_contention(comm.contention);
+                    (eff.alpha, self.boundary_per_sample(agg.max_boundary_act, s, eff.beta))
+                } else {
+                    (0.0, 0.0)
+                };
+                CommCoef { a: 2.0 * d * (p as f64 + s - 2.0), b: alpha, c: per_sample, d: p as f64 }
+            }
+            Strategy::Data { p } => CommCoef { a: self.weight_allreduce(p), ..zero },
+            Strategy::Spatial { split } => {
+                let p = split.total();
+                let comm = self.cluster.comm_model(p);
+                let mask = halo_mask(split);
+                CommCoef {
+                    a: self.weight_allreduce(p),
+                    b: core.halo_pairs[mask] * 2.0 * comm.p2p(0.0),
+                    c: self.halo_per_sample(&comm, mask, 1.0),
+                    ..zero
+                }
+            }
+            Strategy::Filter { p } | Strategy::Channel { p } => {
+                let comm = self.cluster.comm_model(p);
+                CommCoef {
+                    a: 0.0,
+                    b: core.collective_layers * comm.link.alpha,
+                    c: self.collective_per_sample(&comm, p),
+                    d: 3.0 * (p as f64 - 1.0),
+                }
+            }
+            Strategy::DataFilter { p1, p2 } => {
+                let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
+                CommCoef {
+                    a: self.df_allreduce(p1, p2),
+                    b: core.collective_layers * intra.link.alpha,
+                    c: self.collective_per_sample(&intra, p1 * p2),
+                    d: 3.0 * (p2 as f64 - 1.0),
+                }
+            }
+            Strategy::DataSpatial { p1, split } => {
+                let p2 = split.total();
+                let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
+                let mask = halo_mask(split);
+                CommCoef {
+                    a: self.ds_allreduce(p1, p2),
+                    b: core.halo_pairs[mask] * 2.0 * intra.p2p(0.0),
+                    c: self.halo_per_sample(&intra, mask, p1 as f64),
+                    ..zero
+                }
+            }
+        }
+    }
+
+    /// [`CostEngine::comm_time`] reconstructed from precomputed
+    /// coefficients: bit-identical (the batch-invariant sub-terms are the
+    /// stored *values* of the exact sub-expressions `comm_time` computes,
+    /// and the remaining batch-dependent arithmetic mirrors its operation
+    /// order), at a few flops per candidate instead of the full
+    /// collective-model derivation. Debug builds assert the bit equality on
+    /// every call, so every equivalence test crossing this path checks it
+    /// for every scanned candidate.
+    /// Dispatch is on the prep-row family byte ([`StrategyKind`] as `u8`),
+    /// not the strategy itself, so the hot loop never loads or decodes the
+    /// strategy column — every strategy-derived parameter is folded into
+    /// `k` by [`CostEngine::comm_prep`]. `strategy` is a lazy accessor,
+    /// only invoked by the debug-build bit-equality assert — release-mode
+    /// hot loops never touch the strategy column here.
+    #[inline]
+    pub(crate) fn comm_time_prepped(
+        &self,
+        fam: u8,
+        k: &CommCoef,
+        strategy: impl Fn() -> Strategy,
+    ) -> f64 {
+        const SERIAL: u8 = StrategyKind::Serial as u8;
+        const DATA: u8 = StrategyKind::Data as u8;
+        const SPATIAL: u8 = StrategyKind::Spatial as u8;
+        const FILTER: u8 = StrategyKind::Filter as u8;
+        const CHANNEL: u8 = StrategyKind::Channel as u8;
+        const PIPELINE: u8 = StrategyKind::Pipeline as u8;
+        const DATA_FILTER: u8 = StrategyKind::DataFilter as u8;
+        const DATA_SPATIAL: u8 = StrategyKind::DataSpatial as u8;
+        let b = self.config.batch_size as f64;
+        let iters = self.iters_f;
+        let t = match fam {
+            SERIAL => 0.0,
+            DATA => iters * k.a,
+            // Spatial and data+spatial share one shape: the shard divisor
+            // of the per-sample halo volume is folded into `c` at prep time,
+            // so both reduce to the same fused fixed-plus-slope form.
+            SPATIAL | DATA_SPATIAL => {
+                let ge = iters * k.a;
+                let halo = 2.0 * (k.b + b * k.c);
+                ge + iters * halo
+            }
+            FILTER | CHANNEL => iters * (k.d * (k.b + b * k.c)),
+            PIPELINE => {
+                // `d = p` flags a communicating pipeline (`comm_prep` stores
+                // zero coefficients for `p ≤ 1`); `a` is the dataset
+                // prefactor `2·D·(p + s − 2)`, `b`/`c` the effective link's
+                // α and per-sample slope (zeroed for boundary-less
+                // pipelines so `max_p2p` collapses to the direct path's
+                // `0.0`). The one remaining division is by the cell batch.
+                if k.d > 1.0 {
+                    k.a / b * (k.b + b * k.c)
+                } else {
+                    0.0
+                }
+            }
+            DATA_FILTER => {
+                let fbcoll = iters * (k.d * (k.b + b * k.c));
+                let ge = iters * k.a;
+                ge + fbcoll
+            }
+            _ => unreachable!("family byte out of range"),
+        };
+        debug_assert_eq!(
+            t.to_bits(),
+            self.comm_time(strategy()).to_bits(),
+            "prepped communication time diverged from comm_time for {}",
+            strategy(),
+        );
+        t
+    }
+
+    /// Incremental cost estimate: like [`CostEngine::estimate`], but when
+    /// `prev` is a same-kind neighbour (the sorted-superset order from
+    /// [`crate::search`] places them adjacently) the sub-terms that provably
+    /// cannot change are copied from `prev` instead of recomputed. Copies are
+    /// bit-moves of values produced by the exact same expressions, so the
+    /// result is *identical* to a fresh `estimate(next)` — equivalence is
+    /// property-tested with exact `==`, stronger than the 1e-9 gate.
+    ///
+    /// Reuse table (terms not listed are recomputed):
+    /// - `Data` → `Data`: weight-update (batch-dependent, `p`-invariant).
+    /// - `Spatial` → `Spatial`: weight-update; same total also copies
+    ///   forward/backward and gradient exchange; same halo mask (which dims
+    ///   are split) also copies the halo term.
+    /// - `Pipeline` → `Pipeline` at equal depth: weight-update (per-depth
+    ///   stage aggregate, segment-invariant).
+    /// - `DataFilter` → `DataFilter` at equal total: forward/backward.
+    /// - `DataSpatial` → `DataSpatial`: weight-update; same total also
+    ///   copies forward/backward.
+    /// - `Filter`/`Channel` and every cross-kind pair: full re-estimate
+    ///   (every term depends on the changed axis).
+    ///
+    /// `prev` must come from this engine at the current batch size (the
+    /// copied terms are batch-dependent; this is the same contract as
+    /// [`CostEngine::rebatch`] invalidating outstanding estimates).
+    pub fn estimate_delta(&self, prev: &CostEstimate, next: Strategy) -> CostEstimate {
+        let mem = self.memory_per_pe(next);
+        self.estimate_delta_with_memory(prev, next, mem)
+    }
+
+    /// [`CostEngine::estimate_delta`] with a caller-computed memory value
+    /// (the kernel's SoA prep columns already hold it).
+    pub fn estimate_delta_with_memory(
+        &self,
+        prev: &CostEstimate,
+        next: Strategy,
+        memory_per_pe_bytes: f64,
+    ) -> CostEstimate {
+        debug_assert_eq!(
+            prev.iterations, self.iters,
+            "estimate_delta requires prev from the same engine and batch"
+        );
+        let core = &*self.core;
+        let d = self.config.dataset_size as f64;
+        let b = self.config.batch_size as f64;
+        let iters = self.iters_f;
+        let pe = &prev.per_epoch;
+        let mut breakdown = PhaseBreakdown::default();
+        match (prev.strategy, next) {
+            (Strategy::Data { .. }, Strategy::Data { p }) => {
+                breakdown.forward_backward = d / p as f64 * core.fw_bw_per_sample;
+                breakdown.weight_update = pe.weight_update;
+                breakdown.gradient_exchange = iters * self.weight_allreduce(p);
+            }
+            (Strategy::Spatial { split: prev_split }, Strategy::Spatial { split }) => {
+                breakdown.weight_update = pe.weight_update;
+                let p = split.total();
+                let same_total = prev_split.total() == p;
+                if same_total {
+                    breakdown.forward_backward = pe.forward_backward;
+                    breakdown.gradient_exchange = pe.gradient_exchange;
+                } else {
+                    breakdown.forward_backward = d / p as f64 * core.fw_bw_per_sample;
+                    breakdown.gradient_exchange = iters * self.weight_allreduce(p);
+                }
+                let same_mask = (prev_split.pw > 1, prev_split.ph > 1, prev_split.pd > 1)
+                    == (split.pw > 1, split.ph > 1, split.pd > 1);
+                if same_total && same_mask {
+                    breakdown.halo_exchange = pe.halo_exchange;
+                } else {
+                    let comm = self.cluster.comm_model(p);
+                    breakdown.halo_exchange = iters * self.halo_time(&comm, split, 1.0, b);
+                }
+            }
+            (Strategy::Pipeline { p: prev_p, .. }, Strategy::Pipeline { p, segments })
+                if prev_p == p =>
+            {
+                let agg = self.pipeline_agg(p);
+                let s = segments.max(1) as f64;
+                let pf = p as f64;
+                breakdown.forward_backward = d * (pf + s - 1.0) / s * (agg.max_fw + agg.max_bw);
+                breakdown.weight_update = pe.weight_update;
+                breakdown.pipeline_p2p = self.pipeline_p2p(p, segments);
+            }
+            (Strategy::DataFilter { p1: q1, p2: q2 }, Strategy::DataFilter { p1, p2 })
+                if q1 * q2 == p1 * p2 =>
+            {
+                breakdown.forward_backward = pe.forward_backward;
+                breakdown.weight_update = iters / p2 as f64 * core.wu_per_iteration;
+                let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
+                breakdown.fb_collective = iters * self.layerwise_collective(&intra, p2, p1 * p2, b);
+                breakdown.gradient_exchange = iters * self.df_allreduce(p1, p2);
+            }
+            (
+                Strategy::DataSpatial { p1: q1, split: prev_split },
+                Strategy::DataSpatial { p1, split },
+            ) => {
+                breakdown.weight_update = pe.weight_update;
+                if q1 * prev_split.total() == p1 * split.total() {
+                    breakdown.forward_backward = pe.forward_backward;
+                } else {
+                    let p = (p1 * split.total()) as f64;
+                    breakdown.forward_backward = d / p * core.fw_bw_per_sample;
+                }
+                let p2 = split.total();
+                let intra = self.cluster.comm_model(p2.min(self.cluster.gpus_per_node));
+                breakdown.halo_exchange = iters * self.halo_time(&intra, split, p1 as f64, b);
+                breakdown.gradient_exchange = iters * self.ds_allreduce(p1, p2);
+            }
+            (_, next) => return self.estimate_with_memory(next, memory_per_pe_bytes),
+        }
+        CostEstimate {
+            strategy: next,
+            per_epoch: breakdown,
+            iterations: self.iters,
+            memory_per_pe_bytes,
+        }
     }
 
     /// Forward/backward and weight-update epoch times of `strategy` — the
@@ -843,30 +1258,83 @@ impl<'a> CostEngine<'a> {
         CollectiveTables::ds_entry(self.cluster, self.core.total_weight_bytes, p1, p2)
     }
 
+    /// Batch-invariant per-sample halo bytes·β for one split mask:
+    /// `halo_elems/shard · δ · β` (`shard` is `1` for `Spatial`, the data
+    /// replica count `p1` for `DataSpatial`). Every batch-dependent halo
+    /// term is `batch · halo_per_sample(..)`, so [`CostEngine::comm_prep`]
+    /// stores this value once per candidate and the reconstruction in
+    /// `comm_time_prepped` is bit-identical by sharing this expression.
+    #[inline]
+    fn halo_per_sample(&self, comm: &CommModel, mask: usize, shard: f64) -> f64 {
+        self.core.halo_elems[mask] / shard * self.config.bytes_per_item * comm.link.beta
+    }
+
+    /// Batch-invariant per-sample collective bytes·φ·β of filter/channel
+    /// parallelism: `act_out_except_last/p_total · δ · φ · β`. Shared by
+    /// the direct paths and [`CostEngine::comm_prep`] for the same
+    /// bit-identity-by-construction reason as `halo_per_sample`.
+    #[inline]
+    fn collective_per_sample(&self, comm: &CommModel, p_total: usize) -> f64 {
+        self.core.act_out_except_last / p_total as f64
+            * self.config.bytes_per_item
+            * comm.contention
+            * comm.link.beta
+    }
+
+    /// Batch-invariant per-sample boundary-activation bytes·β of pipeline
+    /// parallelism: `max_boundary_act/segments · δ · β_eff`.
+    #[inline]
+    fn boundary_per_sample(&self, act: f64, segments: f64, beta: f64) -> f64 {
+        act / segments * self.config.bytes_per_item * beta
+    }
+
     /// Halo-exchange time for one iteration over the precomputed
-    /// per-split-mask aggregates (paper Eq. 10).
-    fn halo_time(&self, comm: &CommModel, split: SpatialSplit, batch: f64) -> f64 {
+    /// per-split-mask aggregates (paper Eq. 10). `shard` divides the
+    /// per-sample halo volume (data replicas process `batch/shard` samples
+    /// each); the batch multiplies *last*, so the whole batch-dependence is
+    /// one fused multiply-add over prep-stored coefficients.
+    fn halo_time(&self, comm: &CommModel, split: SpatialSplit, shard: f64, batch: f64) -> f64 {
         let core = &*self.core;
-        let mask = (usize::from(split.pw > 1))
-            | (usize::from(split.ph > 1) << 1)
-            | (usize::from(split.pd > 1) << 2);
-        let delta = self.config.bytes_per_item;
+        let mask = halo_mask(split);
         2.0 * (core.halo_pairs[mask] * 2.0 * comm.p2p(0.0)
-            + batch * core.halo_elems[mask] * delta * comm.link.beta)
+            + batch * self.halo_per_sample(comm, mask, shard))
     }
 
     /// Layer-wise collective time of filter/channel parallelism for one
     /// iteration (paper Eq. 15/19), over the precomputed activation total.
+    /// Batch-last form, like [`CostEngine::halo_time`].
     fn layerwise_collective(&self, comm: &CommModel, p: usize, p_total: usize, batch: f64) -> f64 {
         let core = &*self.core;
         if p <= 1 {
             return 0.0;
         }
-        let delta = self.config.bytes_per_item;
-        let act_bytes_sum =
-            batch * core.act_out_except_last / p_total as f64 * delta * comm.contention;
         3.0 * (p as f64 - 1.0)
-            * (core.collective_layers * comm.link.alpha + act_bytes_sum * comm.link.beta)
+            * (core.collective_layers * comm.link.alpha
+                + batch * self.collective_per_sample(comm, p_total))
+    }
+
+    /// Pipeline boundary-exchange epoch time (paper Eq. 23), shared by
+    /// [`CostEngine::estimate_with_memory`], [`CostEngine::comm_time`] and
+    /// [`CostEngine::estimate_delta_with_memory`] so the three paths stay
+    /// bit-identical by construction. Batch-last form: the per-stage p2p
+    /// is `α_eff + batch · boundary_per_sample(..)`.
+    fn pipeline_p2p(&self, p: usize, segments: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let agg = self.pipeline_agg(p);
+        let d = self.config.dataset_size as f64;
+        let b = self.config.batch_size as f64;
+        let s = segments.max(1) as f64;
+        let pf = p as f64;
+        let comm = self.cluster.comm_model(p.min(self.cluster.gpus_per_node.max(2)));
+        let max_p2p = if agg.has_boundary {
+            let eff = comm.link.with_contention(comm.contention);
+            eff.alpha + b * self.boundary_per_sample(agg.max_boundary_act, s, eff.beta)
+        } else {
+            0.0
+        };
+        2.0 * d * (pf + s - 2.0) / b * max_p2p
     }
 }
 

@@ -38,28 +38,47 @@
 //!   ranking sort) run concurrently across cells,
 //! * **allocation** — the chunk columns come from the shared prep tables
 //!   and each worker reuses a thread-local survivor buffer, so the
-//!   per-candidate hot path allocates nothing.
+//!   per-candidate hot path allocates nothing,
+//! * **analytic evaluation** — the chunks run through the
+//!   [`crate::kernel`] module: a fused memory+bound prep pass
+//!   ([`CostEngine::prep_terms`]), static dominance bounds seeded per cell
+//!   (seed *selection* reuses the device-dependent prep columns across
+//!   clusters; seed *times* are costed per cell because communication is
+//!   cluster-dependent), a branchless mask pass over the `lbs` column, and
+//!   incremental [`CostEngine::estimate_delta_with_memory`] chains in
+//!   full-ranking mode. Which engine tables the delta path may reuse is
+//!   documented in the `engine` module (batch-invariant vs batch-dependent
+//!   — load-bearing, exactly as with [`CostEngine::rebatch`]).
+//!   [`GridSweep::run_mechanical`] keeps the pre-kernel path as the
+//!   measured baseline of `bench_kernel_summary`.
 //!
 //! Set `PARADL_GRID_TRACE=1` to print per-stage wall-clock timings of a
-//! sweep to stderr.
+//! sweep to stderr ([`GridSweep::run_timed`] returns them
+//! programmatically), and `PARADL_CHUNK` to override the evaluation chunk
+//! granularity.
 //!
 //! The sweep is *exact*: every cell's [`SearchReport`] has the same
 //! `enumerated`/`pruned_by_memory` counts, ranking and budget winners as a
 //! per-query [`Oracle::search`] at that cell's configuration (byte-identical
 //! projections — rebatched engines are bit-equal to freshly built ones, and
-//! the search reduction is order-independent). Only the `pruned_by_bound`
-//! counter may differ, as it already does between two runs of the parallel
-//! search. Property-tested in `tests/proptest_grid.rs`;
-//! [`GridSweep::run_per_query`] keeps the naive sweep as the equivalence
-//! baseline and benchmark reference (`paradl-bench/benches/grid.rs` and the
-//! `bench_grid_summary` binary, which measures the ≥ 5× end-to-end speedup
-//! on a paper-scale grid).
+//! the search reduction is order-independent). Only the prune-accounting
+//! split may differ: the analytic kernel reports deterministic
+//! `pruned_by_dominance` counts (and zero `pruned_by_bound`), while the
+//! streaming baseline reports dynamic `pruned_by_bound` counts that already
+//! vary between two runs of the parallel search. Property-tested in
+//! `tests/proptest_grid.rs`; [`GridSweep::run_per_query`] keeps the naive
+//! sweep as the equivalence baseline and benchmark reference
+//! (`paradl-bench/benches/grid.rs`, the `bench_grid_summary` binary, and
+//! `bench_kernel_summary`, which gates the kernel's ≥ 5× candidates/sec
+//! trajectory on the same paper-scale grid).
 
 use crate::cluster::{ClusterCache, ClusterSpec};
 use crate::config::TrainingConfig;
+use crate::engine::CommCoef;
 use crate::engine::{
     cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache, ModelLimits,
 };
+use crate::kernel::{chunk_from_env, eval_chunk_kernel, select_seeds, KernelColumns, StaticBounds};
 use crate::model::Model;
 use crate::oracle::{Constraints, Oracle, Projection};
 use crate::search::{
@@ -248,15 +267,64 @@ struct PreppedSpace {
     mems: Vec<f64>,
     /// Compute-only lower-bound column, aligned with `cands`.
     lbs: Vec<f64>,
+    /// PE-budget slot column (`budget_index` of each candidate, ≤ 64 so it
+    /// fits a byte), aligned with `cands`. Analytic mode only.
+    slots: Vec<u8>,
+    /// Seed-panel indices into `cands` (per-(family, slot) lower-bound
+    /// minima; device-dependent but cluster-independent, so selected once
+    /// per prep and costed per cell). Analytic mode only.
+    seeds: Vec<usize>,
+    /// Superset index of each feasible candidate (`cands[i]` is
+    /// `superset[sup[i]]`), linking the prep rows to the per-(model,
+    /// cluster) communication-coefficient columns. Analytic mode only.
+    sup: Vec<u32>,
+    /// Strategy-family byte per candidate ([`crate::strategy::StrategyKind`]
+    /// as `u8`) — the kernel's communication dispatch, so the hot loop
+    /// never decodes the strategy column. Analytic mode only.
+    fams: Vec<u8>,
 }
 
 impl PreppedSpace {
+    fn empty_per_batch(batches: &[usize]) -> Vec<PreppedSpace> {
+        batches
+            .iter()
+            .map(|_| PreppedSpace {
+                enumerated: 0,
+                mem_pruned: 0,
+                cands: Vec::new(),
+                mems: Vec::new(),
+                lbs: Vec::new(),
+                slots: Vec::new(),
+                seeds: Vec::new(),
+                sup: Vec::new(),
+                fams: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Batch indices in ascending batch order (validity at one batch
+    /// implies validity at every larger one).
+    fn batch_order(batches: &[usize]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        order.sort_by_key(|&i| batches[i]);
+        order
+    }
+
     /// Builds the prep tables of one (model, device) for *every* batch of
     /// the grid in a single superset pass: candidate validity is monotone in
     /// the batch (every batch-dependent bound is a `≤ batch` comparison), so
     /// each candidate's validity is resolved once at the smallest admitting
     /// batch instead of being re-checked per batch. `base` is any engine of
     /// the (model, device) pair; per-batch siblings are rebatched from it.
+    ///
+    /// The analytic prep: memory and the lower bound come from the fused
+    /// [`CostEngine::prep_terms`] pass, the budget-slot and seed-panel
+    /// columns for the kernel are tabulated alongside, and — for the
+    /// non-pipeline families, whose per-PE memory is provably nondecreasing
+    /// in the batch (`2·batch·act/div + const`) — a candidate that exceeds
+    /// the capacity at one batch skips the memory computation at every
+    /// larger batch (it still counts as enumerated and memory-pruned
+    /// there, so the accounting is unchanged).
     fn build_all(
         superset: &[Strategy],
         limits: &ModelLimits,
@@ -265,20 +333,62 @@ impl PreppedSpace {
         constraints: &Constraints,
     ) -> Vec<PreppedSpace> {
         let engines: Vec<CostEngine<'_>> = batches.iter().map(|&b| base.rebatched(b)).collect();
-        let mut preps: Vec<PreppedSpace> = batches
-            .iter()
-            .map(|_| PreppedSpace {
-                enumerated: 0,
-                mem_pruned: 0,
-                cands: Vec::new(),
-                mems: Vec::new(),
-                lbs: Vec::new(),
-            })
-            .collect();
-        // Batch indices in ascending batch order (validity at one batch
-        // implies validity at every larger one).
-        let mut order: Vec<usize> = (0..batches.len()).collect();
-        order.sort_by_key(|&i| batches[i]);
+        let mut preps = PreppedSpace::empty_per_batch(batches);
+        let order = PreppedSpace::batch_order(batches);
+        for (si, &strategy) in superset.iter().enumerate() {
+            let mut j = 0;
+            while j < order.len() && !limits.is_valid(strategy, batches[order[j]]) {
+                j += 1;
+            }
+            let slot = budget_index(strategy.total_pes()) as u8;
+            let fam = strategy.kind() as u8;
+            // Pipeline memory is a per-depth table, not the shared
+            // `2·batch·act + const` form, so the monotone early-break only
+            // applies to the other families.
+            let monotone = !matches!(strategy, Strategy::Pipeline { .. });
+            let mut infeasible = false;
+            for &bi in &order[j..] {
+                let prep = &mut preps[bi];
+                prep.enumerated += 1;
+                if infeasible {
+                    continue;
+                }
+                let (mem, lb) = engines[bi].prep_terms(strategy);
+                if mem > constraints.memory_capacity_bytes {
+                    infeasible = monotone;
+                    continue;
+                }
+                prep.cands.push(strategy);
+                prep.mems.push(mem);
+                prep.lbs.push(lb);
+                prep.slots.push(slot);
+                prep.sup.push(si as u32);
+                prep.fams.push(fam);
+            }
+        }
+        let n_slots = budget_index(constraints.max_pes.max(1)) + 1;
+        for prep in &mut preps {
+            prep.mem_pruned = prep.enumerated - prep.cands.len();
+            prep.seeds = select_seeds(&prep.cands, &prep.lbs, &prep.slots, n_slots);
+        }
+        preps
+    }
+
+    /// The pre-kernel (mechanical) prep: separate `memory_per_pe` and
+    /// `lower_bound` calls per candidate, no slot/seed columns, no
+    /// early-break. Kept verbatim as the baseline side of
+    /// [`GridSweep::run_mechanical`] so the kernel's speedup is measured
+    /// against the real predecessor, not a strawman.
+    fn build_all_mechanical(
+        superset: &[Strategy],
+        limits: &ModelLimits,
+        base: &CostEngine<'_>,
+        batches: &[usize],
+        constraints: &Constraints,
+    ) -> Vec<PreppedSpace> {
+        let engines: Vec<CostEngine<'_>> = batches.iter().map(|&b| base.rebatched(b)).collect();
+        let mut preps = PreppedSpace::empty_per_batch(batches);
+        let order = PreppedSpace::batch_order(batches);
         for &strategy in superset {
             let mut j = 0;
             while j < order.len() && !limits.is_valid(strategy, batches[order[j]]) {
@@ -301,6 +411,18 @@ impl PreppedSpace {
         }
         preps
     }
+}
+
+/// Per-(model, cluster) batch-invariant communication columns, aligned
+/// with the model's candidate superset: one [`CommCoef`] row per superset
+/// candidate, from which the kernel's fused evaluation pass reconstructs
+/// every candidate's *exact* communication time
+/// ([`CostEngine::comm_time_prepped`]) — the collective/link derivations
+/// behind `comm_time` are tabulated once per (model, cluster) pair
+/// instead of being re-derived in every batch's cell.
+struct CommColumns {
+    /// Coefficient rows, indexed by superset row.
+    coef: Vec<CommCoef>,
 }
 
 /// Per-worker reusable survivor buffer, retaining its capacity across
@@ -397,10 +519,52 @@ struct CellCtx<'a, 'w> {
     engine: CostEngine<'a>,
     prep: &'w PreppedSpace,
     shared: SearchShared,
+    /// Static dominance-prune bounds derived from the prep's seed panel
+    /// through this cell's engine (analytic mode only).
+    bounds: Option<StaticBounds>,
+    /// The (model, cluster) pair's batch-invariant communication columns,
+    /// superset-aligned (empty in mechanical mode).
+    comm: Option<&'w CommColumns>,
     /// Survivor accumulator (full-ranking mode, `top_k == None`).
     found: Mutex<Vec<RankedCandidate>>,
     /// Per-budget-slot running winners (top-k mode).
     winners: Vec<Mutex<Option<RankedCandidate>>>,
+}
+
+/// Which candidate-evaluation path a sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalMode {
+    /// The analytic kernel ([`crate::kernel`]): static dominance bounds,
+    /// branchless mask filtering, incremental cost deltas.
+    Analytic,
+    /// The pre-kernel path: one full estimate per candidate with dynamic
+    /// branch-and-bound checks. Kept as the measured baseline.
+    Mechanical,
+}
+
+/// Per-stage wall-clock seconds of one [`GridSweep::run_timed`] sweep,
+/// reported by `bench_kernel_summary` so the kernel's per-stage trajectory
+/// (prep, evaluation) is visible next to the end-to-end number.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridStageTimings {
+    /// Cluster topology-cache derivation.
+    pub caches: f64,
+    /// Candidate-superset enumeration (one per model).
+    pub supersets: f64,
+    /// Engine builds (one per model × cluster).
+    pub engines: f64,
+    /// SoA prep passes (enumeration filter, memory pruning, bound/slot
+    /// tabulation, seed selection).
+    pub preps: f64,
+    /// Batch-invariant communication-coefficient columns (one per
+    /// model × cluster pair).
+    pub comms: f64,
+    /// Cell-context assembly (rebatched engines, static bounds).
+    pub cells: f64,
+    /// Chunked candidate evaluation — the kernel hot loop.
+    pub eval: f64,
+    /// Final per-cell ranking and report assembly.
+    pub finish: f64,
 }
 
 /// Evaluates a [`QueryGrid`], amortizing engines, topology caches and
@@ -409,6 +573,8 @@ struct CellCtx<'a, 'w> {
 pub struct GridSweep {
     /// Candidates per work unit of the interleaved evaluation.
     chunk: usize,
+    /// Evaluation path (analytic kernel by default).
+    mode: EvalMode,
 }
 
 impl Default for GridSweep {
@@ -418,11 +584,13 @@ impl Default for GridSweep {
 }
 
 impl GridSweep {
-    /// A sweep with the default work-splitting granularity (4096 candidates
-    /// per chunk — small enough that a paper-scale query splits into
-    /// dozens of units, large enough that chunk dispatch is negligible).
+    /// A sweep through the analytic kernel with the default work-splitting
+    /// granularity ([`PARADL_CHUNK`-overridable](crate::kernel); the
+    /// default is picked by the chunk sweep in `BENCH_kernel.json` — small
+    /// enough that a paper-scale query splits into many units, large
+    /// enough that chunk dispatch and mask-pass overhead stay negligible).
     pub fn new() -> Self {
-        GridSweep { chunk: 4096 }
+        GridSweep { chunk: chunk_from_env(), mode: EvalMode::Analytic }
     }
 
     /// Overrides the candidates-per-chunk granularity (clamped to ≥ 1).
@@ -431,12 +599,36 @@ impl GridSweep {
         self
     }
 
+    /// Alias for [`GridSweep::with_chunk_size`].
+    pub fn with_chunk(self, chunk: usize) -> Self {
+        self.with_chunk_size(chunk)
+    }
+
     /// Evaluates every cell of `grid`, returning one [`SearchReport`] per
     /// cell in [`QueryGrid::queries`] order — each identical to what
     /// [`Oracle::search`] would return for that cell (modulo the
     /// non-deterministic `pruned_by_bound` counter).
     pub fn run(&self, grid: &QueryGrid) -> GridReport {
+        self.run_with(grid, None).0
+    }
+
+    /// Like [`GridSweep::run`], but also returns per-stage wall-clock
+    /// timings (used by `bench_kernel_summary` to report the prep/eval
+    /// split of the kernel trajectory).
+    pub fn run_timed(&self, grid: &QueryGrid) -> (GridReport, GridStageTimings) {
         self.run_with(grid, None)
+    }
+
+    /// Runs the sweep through the pre-kernel (mechanical) evaluation path:
+    /// reference enumeration, separate memory/bound prep calls, and one
+    /// full cost estimate per surviving candidate with dynamic
+    /// branch-and-bound checks. Produces the same reports as
+    /// [`GridSweep::run`] (modulo the bound/dominance counters — the
+    /// mechanical path counts dynamic bound prunes where the kernel counts
+    /// static dominance prunes); kept as the measured baseline the
+    /// analytic kernel's speedup gate compares against.
+    pub fn run_mechanical(&self, grid: &QueryGrid) -> (GridReport, GridStageTimings) {
+        GridSweep { chunk: self.chunk, mode: EvalMode::Mechanical }.run_with(grid, None)
     }
 
     /// Like [`GridSweep::run`], but sourcing engine cores and cluster caches
@@ -447,21 +639,30 @@ impl GridSweep {
     /// a hydrated engine is byte-for-byte identical to a fresh build
     /// ([`CostEngine::from_core`]).
     pub fn run_cached(&self, grid: &QueryGrid, cache: &EngineCache) -> GridReport {
-        self.run_with(grid, Some(cache))
+        self.run_with(grid, Some(cache)).0
     }
 
-    fn run_with(&self, grid: &QueryGrid, ecache: Option<&EngineCache>) -> GridReport {
+    fn run_with(
+        &self,
+        grid: &QueryGrid,
+        ecache: Option<&EngineCache>,
+    ) -> (GridReport, GridStageTimings) {
+        let mut timings = GridStageTimings::default();
         let queries = grid.queries();
         if queries.is_empty() {
-            return GridReport { cells: Vec::new() };
+            return (GridReport { cells: Vec::new() }, timings);
         }
         let trace = std::env::var_os("PARADL_GRID_TRACE").is_some();
-        let t0 = std::time::Instant::now();
-        let stage = move |name: &str| {
+        let mut last = std::time::Instant::now();
+        let mut stage = move |name: &str| -> f64 {
+            let elapsed = last.elapsed().as_secs_f64();
+            last = std::time::Instant::now();
             if trace {
-                eprintln!("[grid] {name:>10}: {:?}", t0.elapsed());
+                eprintln!("[grid] {name:>10}: {:>8.1} ms", elapsed * 1e3);
             }
+            elapsed
         };
+        let analytic = self.mode == EvalMode::Analytic;
         let n_clusters = grid.clusters.len();
         let max_batch = *grid.batches.iter().max().expect("non-empty batch axis");
         let constraints = &grid.constraints;
@@ -478,20 +679,28 @@ impl GridSweep {
             })
             .collect();
 
-        stage("caches");
+        timings.caches = stage("caches");
         // Per-model scaling limits (cheap, needed by both stages below).
         let limits: Vec<ModelLimits> =
             grid.models.iter().map(|gm| ModelLimits::of(&gm.model)).collect();
 
         // One candidate superset per model, enumerated at the largest batch;
         // models enumerate in parallel (the sort inside is each model's
-        // serial bottleneck in the per-query path).
+        // serial bottleneck in the per-query path). The mechanical baseline
+        // keeps the pre-kernel sort-based enumeration.
         let supersets: Vec<Vec<Strategy>> = (0..grid.models.len())
             .into_par_iter()
-            .map(|m| StrategySpace::with_limits(max_batch, constraints, &limits[m]).into_vec())
+            .map(|m| {
+                if analytic {
+                    StrategySpace::with_limits(max_batch, constraints, &limits[m]).into_vec()
+                } else {
+                    StrategySpace::with_limits_reference(max_batch, constraints, &limits[m])
+                        .into_vec()
+                }
+            })
             .collect();
 
-        stage("supersets");
+        timings.supersets = stage("supersets");
         // One engine per (model, cluster) pair, sharing the cluster caches;
         // every batch of the grid reuses the pair's batch-invariant core.
         let engines: Vec<CostEngine<'_>> = (0..grid.models.len() * n_clusters)
@@ -532,7 +741,7 @@ impl GridSweep {
             })
             .collect();
 
-        stage("engines");
+        timings.engines = stage("engines");
         // Group clusters by device profile: per-PE memory and the compute
         // lower bound are cluster-independent given the device, so one prep
         // pass per (model, batch, device) serves every cluster in the group.
@@ -556,7 +765,12 @@ impl GridSweep {
             .into_par_iter()
             .map(|i| {
                 let (m, g) = (i / n_groups, i % n_groups);
-                PreppedSpace::build_all(
+                let build = if analytic {
+                    PreppedSpace::build_all
+                } else {
+                    PreppedSpace::build_all_mechanical
+                };
+                build(
                     &supersets[m],
                     &limits[m],
                     &engines[m * n_clusters + group_reps[g]],
@@ -566,11 +780,54 @@ impl GridSweep {
             })
             .collect();
 
-        stage("preps");
+        timings.preps = stage("preps");
+        // Per-(model, cluster) communication columns, aligned with the
+        // model's candidate superset: the batch-invariant parts of every
+        // candidate's communication time (collective times, link
+        // parameters — the dominant per-candidate cost) are tabulated once
+        // per pair instead of being re-derived in every batch's cell.
+        // Rows no batch's prep references (invalid or memory-infeasible at
+        // every batch) are skipped.
+        let coefs: Vec<CommColumns> = if analytic {
+            let used: Vec<Vec<bool>> = (0..grid.models.len() * n_groups)
+                .map(|i| {
+                    let m = i / n_groups;
+                    let mut used = vec![false; supersets[m].len()];
+                    for prep in &preps[i] {
+                        for &si in &prep.sup {
+                            used[si as usize] = true;
+                        }
+                    }
+                    used
+                })
+                .collect();
+            (0..grid.models.len() * n_clusters)
+                .into_par_iter()
+                .map(|i| {
+                    let (m, c) = (i / n_clusters, i % n_clusters);
+                    let engine = &engines[i];
+                    let used = &used[m * n_groups + group_of[c]];
+                    let coef = supersets[m]
+                        .iter()
+                        .zip(used)
+                        .map(|(&s, &u)| if u { engine.comm_prep(s) } else { CommCoef::default() })
+                        .collect();
+                    CommColumns { coef }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        timings.comms = stage("comms");
         // Cell contexts: a rebatched engine sibling plus the shared search
         // state each cell's chunks reduce into. The memory-pruned count is
         // seeded from the prep (the per-query search counts it before bound
-        // pruning, so the accounting matches).
+        // pruning, so the accounting matches); in analytic mode the cell's
+        // static dominance bounds are derived here, costing the prep's seed
+        // panel through the cell's own engine (communication is cluster-
+        // dependent, so seed *times* are per cell even though seed
+        // *selection* is per prep).
         let cells: Vec<CellCtx<'_, '_>> = queries
             .iter()
             .map(|&query| {
@@ -579,19 +836,33 @@ impl GridSweep {
                 let shared = SearchShared::new(constraints);
                 shared.set_memory_pruned(prep.mem_pruned);
                 let winners = (0..shared.num_budget_slots()).map(|_| Mutex::new(None)).collect();
+                let engine =
+                    engines[query.model * n_clusters + query.cluster].rebatched(query.batch);
+                let bounds = analytic.then(|| {
+                    StaticBounds::from_seeds(
+                        &engine,
+                        &prep.cands,
+                        &prep.lbs,
+                        &prep.slots,
+                        &prep.seeds,
+                        &shared,
+                    )
+                });
+                let comm = analytic.then(|| &coefs[query.model * n_clusters + query.cluster]);
                 CellCtx {
                     query,
-                    engine: engines[query.model * n_clusters + query.cluster]
-                        .rebatched(query.batch),
+                    engine,
                     prep,
                     shared,
+                    bounds,
+                    comm,
                     found: Mutex::new(Vec::new()),
                     winners,
                 }
             })
             .collect();
 
-        stage("cells");
+        timings.cells = stage("cells");
         // Candidate-level work splitting: fixed-size chunks, interleaved
         // round-robin across cells so a huge cell spreads over all workers
         // instead of pinning one. Round-robin also runs every cell's
@@ -619,11 +890,35 @@ impl GridSweep {
                 let cell = &cells[ci];
                 let lo = round * chunk;
                 let hi = (lo + chunk).min(cell.prep.cands.len());
-                eval_chunk(cell, lo, hi, constraints);
+                if analytic {
+                    let bounds = cell.bounds.as_ref().expect("analytic cells carry bounds");
+                    let comm = cell.comm.expect("analytic cells carry comm columns");
+                    eval_chunk_kernel(
+                        &cell.engine,
+                        KernelColumns {
+                            cands: &cell.prep.cands,
+                            mems: &cell.prep.mems,
+                            lbs: &cell.prep.lbs,
+                            slots: &cell.prep.slots,
+                            sup: &cell.prep.sup,
+                            fams: &cell.prep.fams,
+                            coef: &comm.coef,
+                        },
+                        bounds,
+                        lo,
+                        hi,
+                        constraints,
+                        &cell.shared,
+                        &cell.winners,
+                        &cell.found,
+                    );
+                } else {
+                    eval_chunk(cell, lo, hi, constraints);
+                }
             })
             .collect();
 
-        stage("eval");
+        timings.eval = stage("eval");
         // Per-cell final ranking, in parallel across cells.
         let cells: Vec<GridCell> = cells
             .into_par_iter()
@@ -642,15 +937,17 @@ impl GridSweep {
                 GridCell { query: cell.query, report }
             })
             .collect();
-        stage("finish");
-        GridReport { cells }
+        timings.finish = stage("finish");
+        (GridReport { cells }, timings)
     }
 
-    /// The naive sweep: one [`Oracle::search`] per cell, each building its
-    /// own engine and enumerating its own candidate space. Kept as the
-    /// equivalence baseline ([`GridSweep::run`] must reproduce it cell for
-    /// cell) and as the benchmark reference the ≥ 5× amortization target is
-    /// measured against.
+    /// The naive sweep: one streaming [`Oracle::search_streaming`] per
+    /// cell, each building its own engine and enumerating its own candidate
+    /// space. Kept as the equivalence baseline ([`GridSweep::run`] must
+    /// reproduce it cell for cell) and as the benchmark reference the ≥ 5×
+    /// amortization target is measured against — pinned to the streaming
+    /// (pre-kernel) evaluation so the baseline does not silently inherit
+    /// the analytic kernel's speedup through [`Oracle::search`].
     pub fn run_per_query(&self, grid: &QueryGrid) -> GridReport {
         let cells = grid
             .queries()
@@ -660,7 +957,8 @@ impl GridSweep {
                 let cluster = &grid.clusters[query.cluster];
                 let oracle =
                     Oracle::new(&gm.model, &cluster.device, cluster, gm.config_at(query.batch));
-                GridCell { query, report: oracle.search(&grid.constraints) }
+                let engine = oracle.engine();
+                GridCell { query, report: oracle.search_streaming(&engine, &grid.constraints) }
             })
             .collect();
         GridReport { cells }
@@ -739,11 +1037,13 @@ mod tests {
         let sweep = GridSweep::new().with_chunk_size(64); // force many chunks
         let fast = sweep.run(&grid);
         let slow = sweep.run_per_query(&grid);
+        let (mech, _) = sweep.run_mechanical(&grid);
         assert_eq!(fast.len(), grid.num_queries());
         assert_eq!(fast.len(), slow.len());
-        for (a, b) in fast.cells.iter().zip(&slow.cells) {
+        for ((a, b), m) in fast.cells.iter().zip(&slow.cells).zip(&mech.cells) {
             assert_eq!(a.query, b.query);
             assert_reports_equal(&a.report, &b.report, &format!("{:?}", a.query));
+            assert_reports_equal(&a.report, &m.report, &format!("mech {:?}", a.query));
         }
     }
 
@@ -758,9 +1058,29 @@ mod tests {
         let sweep = GridSweep::new().with_chunk_size(128);
         let fast = sweep.run(&grid);
         let slow = sweep.run_per_query(&grid);
-        for (a, b) in fast.cells.iter().zip(&slow.cells) {
+        let (mech, _) = sweep.run_mechanical(&grid);
+        for ((a, b), m) in fast.cells.iter().zip(&slow.cells).zip(&mech.cells) {
             assert_eq!(a.query, b.query);
             assert_reports_equal(&a.report, &b.report, &format!("{:?}", a.query));
+            assert_reports_equal(&a.report, &m.report, &format!("mech {:?}", a.query));
+        }
+        // The kernel's static prune accounting is deterministic: two runs
+        // report the same dominance count, and the dynamic bound counter
+        // stays zero on the analytic path.
+        let again = sweep.run(&grid);
+        for (a, b) in fast.cells.iter().zip(&again.cells) {
+            assert_eq!(a.report.pruned_by_bound, 0, "analytic path counts no dynamic prunes");
+            assert_eq!(
+                a.report.pruned_by_dominance, b.report.pruned_by_dominance,
+                "dominance count must be deterministic at {:?}",
+                a.query
+            );
+            assert_eq!(
+                a.report.evaluated() + a.report.pruned(),
+                a.report.enumerated,
+                "kernel accounting must add up at {:?}",
+                a.query
+            );
         }
     }
 

@@ -52,6 +52,7 @@ pub mod cost;
 pub mod engine;
 pub mod grid;
 pub mod jsonio;
+pub mod kernel;
 pub mod layer;
 pub mod limits;
 pub mod memory;
@@ -75,7 +76,9 @@ pub mod prelude {
         cluster_fingerprint, engine_fingerprint, CostEngine, EngineCache, EngineCacheStats,
         EngineError, ModelLimits,
     };
-    pub use crate::grid::{GridCell, GridModel, GridQuery, GridReport, GridSweep, QueryGrid};
+    pub use crate::grid::{
+        GridCell, GridModel, GridQuery, GridReport, GridStageTimings, GridSweep, QueryGrid,
+    };
     pub use crate::jsonio::{Json, JsonError};
     pub use crate::layer::{Layer, LayerKind};
     pub use crate::limits::{diagnose_default, table6, Issue, IssueClass};

@@ -67,6 +67,16 @@ impl StrategySpace {
     /// Like [`StrategySpace::new`], but reuses a precomputed [`ModelLimits`]
     /// table (e.g. the one inside a [`CostEngine`]) so every candidate is
     /// validated in `O(1)`.
+    ///
+    /// Emits candidates directly in [`strategy_sort_key`] order, with no
+    /// global sort: the non-hybrid families already enumerate in key order
+    /// (family-major, PE count ascending, family parameters ascending), and
+    /// the data+filter / data+spatial hybrids are generated total-PE-major
+    /// from a divisor sieve (exhaustive sweep) or a small sorted cross
+    /// product (powers-of-two sweep). The paper-scale exhaustive spaces are
+    /// hybrid-dominated, so skipping the multi-million-candidate sort is one
+    /// of the kernel's enumeration wins. Equivalence with the plain nested
+    /// loops is pinned by [`StrategySpace::with_limits_reference`] tests.
     pub fn with_limits(batch: usize, constraints: &Constraints, limits: &ModelLimits) -> Self {
         let max_pes = constraints.max_pes.max(1);
         let sweep = constraints.sweep;
@@ -112,13 +122,147 @@ impl StrategySpace {
             }
         }
 
+        match sweep {
+            PeSweep::Exhaustive => {
+                // Total-major hybrid enumeration from a divisor sieve: for
+                // every total `T = p1·p2`, the admissible group sizes `p2`
+                // are exactly the divisors of `T` within the family's
+                // scaling limit. Iterating divisors descending makes `p1 =
+                // T/p2` ascend, which is the tie-break order of
+                // `strategy_sort_key` — so the emission is sorted without
+                // comparing a single key.
+                let sieve = DivisorSieve::build(
+                    max_pes.min(
+                        batch
+                            .saturating_mul(limits.min_filters.max(limits.min_spatial_size))
+                            .max(1),
+                    ),
+                    limits.min_filters.max(limits.min_spatial_size),
+                );
+                for t in 2..=sieve.tmax {
+                    for &d in sieve.divisors(t).iter().rev() {
+                        let p2 = d as usize;
+                        if p2 > limits.min_filters {
+                            continue;
+                        }
+                        let p1 = t / p2;
+                        if p1 > batch {
+                            break; // p1 ascends as the divisor descends
+                        }
+                        push(Strategy::DataFilter { p1, p2 });
+                    }
+                }
+                for t in 2..=sieve.tmax {
+                    for &d in sieve.divisors(t).iter().rev() {
+                        let p2 = d as usize;
+                        if p2 > limits.min_spatial_size {
+                            continue;
+                        }
+                        let p1 = t / p2;
+                        if p1 > batch {
+                            break;
+                        }
+                        let splits = split_memo
+                            .entry(p2)
+                            .or_insert_with(|| spatial_factorizations(p2, spatial_caps));
+                        for &split in splits.iter() {
+                            push(Strategy::DataSpatial { p1, split });
+                        }
+                    }
+                }
+            }
+            PeSweep::PowersOfTwo => {
+                // The powers-of-two cross products are tiny (log² many
+                // pairs), so generating them unsorted and sorting per family
+                // is cheaper than building a sieve.
+                let mut tail: Vec<Strategy> = Vec::new();
+                let filter_counts = pe_counts(2, limits.min_filters, sweep);
+                let spatial_counts = pe_counts(2, limits.min_spatial_size, sweep);
+                for p1 in pe_counts(1, batch, sweep) {
+                    for &p2 in &filter_counts {
+                        // Saturating: huge hostile batches must break out,
+                        // not overflow.
+                        if p1.saturating_mul(p2) > max_pes {
+                            break; // PE counts are ascending
+                        }
+                        tail.push(Strategy::DataFilter { p1, p2 });
+                    }
+                    for &p2 in &spatial_counts {
+                        if p1.saturating_mul(p2) > max_pes {
+                            break;
+                        }
+                        let splits = split_memo
+                            .entry(p2)
+                            .or_insert_with(|| spatial_factorizations(p2, spatial_caps));
+                        for &split in splits.iter() {
+                            tail.push(Strategy::DataSpatial { p1, split });
+                        }
+                    }
+                }
+                tail.sort_by_key(strategy_sort_key);
+                for s in tail {
+                    push(s);
+                }
+            }
+        }
+
+        debug_assert!(
+            candidates.windows(2).all(|w| strategy_sort_key(&w[0]) < strategy_sort_key(&w[1])),
+            "sieve enumeration must emit strictly increasing sort keys"
+        );
+        StrategySpace { candidates, next: 0 }
+    }
+
+    /// The straightforward nested-loop enumeration [`StrategySpace::with_limits`]
+    /// replaced: generate every family's cross product, then globally
+    /// sort + dedup by [`strategy_sort_key`]. Kept as the equivalence-tested
+    /// reference for the sieve-based enumerator and as the mechanical
+    /// baseline of the kernel benchmark.
+    pub fn with_limits_reference(
+        batch: usize,
+        constraints: &Constraints,
+        limits: &ModelLimits,
+    ) -> Self {
+        let max_pes = constraints.max_pes.max(1);
+        let sweep = constraints.sweep;
+        let mut candidates: Vec<Strategy> = Vec::new();
+        let mut push = |s: Strategy| {
+            if s.total_pes() <= max_pes && limits.is_valid(s, batch) {
+                candidates.push(s);
+            }
+        };
+
+        push(Strategy::Serial);
+        for p in pe_counts(1, max_pes.min(batch), sweep) {
+            push(Strategy::Data { p });
+        }
+        let spatial_caps = &limits.min_spatial_extents;
+        let mut split_memo: HashMap<usize, Vec<SpatialSplit>> = HashMap::new();
+        for p in pe_counts(2, max_pes.min(limits.min_spatial_size), sweep) {
+            let splits =
+                split_memo.entry(p).or_insert_with(|| spatial_factorizations(p, spatial_caps));
+            for &split in splits.iter() {
+                push(Strategy::Spatial { split });
+            }
+        }
+        for p in pe_counts(2, max_pes.min(limits.min_filters), sweep) {
+            push(Strategy::Filter { p });
+        }
+        for p in pe_counts(2, max_pes.min(limits.min_channels_after_first), sweep) {
+            push(Strategy::Channel { p });
+        }
+        let seg_cap = constraints.pipeline_segments.max(1).min(batch);
+        for p in pe_counts(2, max_pes.min(limits.num_layers), sweep) {
+            for segments in pe_counts(1, seg_cap, sweep) {
+                push(Strategy::Pipeline { p, segments });
+            }
+        }
         let filter_counts = pe_counts(2, limits.min_filters, sweep);
         let spatial_counts = pe_counts(2, limits.min_spatial_size, sweep);
         for p1 in pe_counts(1, batch, sweep) {
             for &p2 in &filter_counts {
-                // Saturating: huge hostile batches must break out, not overflow.
                 if p1.saturating_mul(p2) > max_pes {
-                    break; // PE counts are ascending in both sweep modes.
+                    break;
                 }
                 push(Strategy::DataFilter { p1, p2 });
             }
@@ -136,9 +280,7 @@ impl StrategySpace {
         }
 
         // The sort key is injective on candidates, so sorting makes any
-        // duplicates adjacent and `dedup` removes them — one hash per
-        // candidate cheaper than the `HashSet` this replaces, and
-        // deterministic without an extra collect.
+        // duplicates adjacent and `dedup` removes them.
         candidates.sort_by_key(strategy_sort_key);
         candidates.dedup();
         StrategySpace { candidates, next: 0 }
@@ -259,6 +401,54 @@ fn divisors(p: usize) -> Vec<usize> {
     small
 }
 
+/// A harmonic divisor sieve in CSR layout: for every total `2 ≤ T ≤ tmax`,
+/// the divisors of `T` in `[2, dmax]`, ascending. Building costs
+/// `Σ_{d ≤ dmax} tmax/d = O(tmax · ln dmax)` — proportional to the hybrid
+/// candidate count it drives, so the total-major enumeration stays linear in
+/// its output.
+struct DivisorSieve {
+    /// Largest total covered.
+    tmax: usize,
+    /// CSR row offsets: row `T`'s divisors live at `data[off[T]..off[T+1]]`.
+    off: Vec<u32>,
+    /// Concatenated divisor lists (each ascending).
+    data: Vec<u32>,
+}
+
+impl DivisorSieve {
+    fn build(tmax: usize, dmax: usize) -> Self {
+        let dmax = dmax.min(tmax);
+        let n = tmax + 1;
+        let mut off = vec![0u32; n + 1];
+        for d in 2..=dmax {
+            let mut t = d;
+            while t <= tmax {
+                off[t + 1] += 1;
+                t += d;
+            }
+        }
+        for i in 1..=n {
+            off[i] += off[i - 1];
+        }
+        let mut cursor: Vec<u32> = off[..n].to_vec();
+        let mut data = vec![0u32; off[n] as usize];
+        // Outer loop ascending in `d` ⇒ each row fills in ascending order.
+        for d in 2..=dmax {
+            let mut t = d;
+            while t <= tmax {
+                data[cursor[t] as usize] = d as u32;
+                cursor[t] += 1;
+                t += d;
+            }
+        }
+        DivisorSieve { tmax, off, data }
+    }
+
+    fn divisors(&self, t: usize) -> &[u32] {
+        &self.data[self.off[t] as usize..self.off[t + 1] as usize]
+    }
+}
+
 /// One evaluated candidate in a [`SearchReport`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankedCandidate {
@@ -299,12 +489,23 @@ pub struct SearchReport {
     pub enumerated: usize,
     /// Candidates discarded by the memory-capacity check before costing.
     pub pruned_by_memory: usize,
-    /// Candidates skipped by branch-and-bound pruning (compute-only lower
-    /// bound already worse than the running winners) before costing. Always
-    /// 0 unless [`Constraints::top_k`] is set. The exact count depends on
-    /// evaluation order and is therefore **not** deterministic across runs —
-    /// only the ranked results are.
+    /// Candidates skipped by *dynamic* branch-and-bound pruning (compute-only
+    /// lower bound already worse than the running winners) before costing.
+    /// Always 0 unless [`Constraints::top_k`] is set. The exact count depends
+    /// on evaluation order and is therefore **not** deterministic across
+    /// runs — only the ranked results are. The analytic kernel
+    /// ([`crate::kernel`]) never uses this counter: its pruning is static and
+    /// lands in `pruned_by_dominance` instead.
     pub pruned_by_bound: usize,
+    /// Candidates discarded by the kernel's static dominance bound before
+    /// costing: their compute-only lower bound provably exceeds what an
+    /// already-known candidate achieves at every PE budget they belong to
+    /// (see [`crate::kernel::StaticBounds`]). Unlike `pruned_by_bound` this
+    /// count is **deterministic**: the bound is fixed before the scan starts
+    /// and the per-chunk counts are accumulated commutatively, so any
+    /// evaluation order produces the same number. Always 0 on the streaming
+    /// search paths.
+    pub pruned_by_dominance: usize,
     /// The costed candidates, fastest first (deterministic order): every
     /// feasible candidate when [`Constraints::top_k`] is `None`, otherwise
     /// the `k` best.
@@ -327,7 +528,12 @@ impl SearchReport {
 
     /// Number of candidates that were actually costed.
     pub fn evaluated(&self) -> usize {
-        self.enumerated - self.pruned_by_memory - self.pruned_by_bound
+        self.enumerated - self.pruned_by_memory - self.pruned_by_bound - self.pruned_by_dominance
+    }
+
+    /// Total candidates discarded before costing, by any pruning stage.
+    pub fn pruned(&self) -> usize {
+        self.pruned_by_memory + self.pruned_by_bound + self.pruned_by_dominance
     }
 
     /// The `n` fastest ranked candidates (fewer when the ranking is
@@ -341,21 +547,11 @@ impl SearchReport {
 /// Max-heap entry of the bounded top-k heap: the *worst* retained candidate
 /// sits at the top so it can be evicted in `O(log k)`.
 struct HeapEntry {
+    /// The candidate's epoch time as IEEE-754 bits: epoch times are
+    /// non-negative, so the bit pattern orders like the float value.
     time_bits: u64,
     key: (u8, usize, usize, usize, usize),
     candidate: RankedCandidate,
-}
-
-impl HeapEntry {
-    fn new(candidate: RankedCandidate) -> Self {
-        HeapEntry {
-            // Epoch times are non-negative, so the IEEE-754 bit pattern
-            // orders like the float value.
-            time_bits: candidate.epoch_time().to_bits(),
-            key: strategy_sort_key(&candidate.strategy),
-            candidate,
-        }
-    }
 }
 
 impl PartialEq for HeapEntry {
@@ -408,6 +604,7 @@ pub(crate) struct SearchShared {
     heap: Mutex<BinaryHeap<HeapEntry>>,
     pruned_memory: AtomicUsize,
     pruned_bound: AtomicUsize,
+    pruned_dominance: AtomicUsize,
 }
 
 impl SearchShared {
@@ -420,6 +617,7 @@ impl SearchShared {
             heap: Mutex::new(BinaryHeap::new()),
             pruned_memory: AtomicUsize::new(0),
             pruned_bound: AtomicUsize::new(0),
+            pruned_dominance: AtomicUsize::new(0),
         }
     }
 
@@ -446,6 +644,30 @@ impl SearchShared {
     /// path, use this to keep the report accounting consistent).
     pub(crate) fn count_bound_pruned(&self) {
         self.pruned_bound.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` statically dominance-pruned candidates (the kernel counts
+    /// per chunk and adds in bulk; addition is commutative, so the total is
+    /// order-independent and deterministic).
+    pub(crate) fn count_dominance_pruned(&self, n: usize) {
+        self.pruned_dominance.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The `top_k` this search was configured with.
+    pub(crate) fn top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// Pre-tightens the top-k threshold from the kernel's seed panel: the
+    /// k-th best seed time is an upper bound on the final k-th best overall,
+    /// so candidates strictly above it can be rejected from the heap's fast
+    /// path immediately instead of after `k` heap insertions. Seeds are real
+    /// candidates that are re-offered during the normal scan, so priming
+    /// never changes the final heap contents. No-op unless `top_k ≥ 1`.
+    pub(crate) fn prime_threshold(&self, time: f64) {
+        if matches!(self.top_k, Some(k) if k > 0) {
+            atomic_min(&self.threshold, time);
+        }
     }
 
     /// Whether a candidate with compute-only lower bound `lb` can be skipped:
@@ -486,28 +708,50 @@ impl SearchShared {
     /// `top_k` is unset or the candidate is strictly worse than the current
     /// k-th best).
     pub(crate) fn offer_topk(&self, candidate: &RankedCandidate) {
+        self.offer_topk_lazy(candidate.epoch_time(), &candidate.strategy, || *candidate);
+    }
+
+    /// [`SearchShared::offer_topk`] with the candidate's construction
+    /// deferred: heap ordering is exactly `(epoch-time bits, strategy sort
+    /// key)` — see [`HeapEntry`] — so admission is decided from the scalar
+    /// `time` and the strategy alone, and `make` (typically a full
+    /// [`CostEstimate`] assembly) runs only when the entry actually enters
+    /// the heap. The candidate-evaluation kernel leans on this: of the
+    /// millions of gate survivors it offers, only the handful that displace
+    /// a heap entry pay for an estimate. `make` must produce a candidate
+    /// whose epoch time is `time` (debug-asserted).
+    pub(crate) fn offer_topk_lazy(
+        &self,
+        time: f64,
+        strategy: &Strategy,
+        make: impl FnOnce() -> RankedCandidate,
+    ) {
         let Some(k) = self.top_k else { return };
         if k == 0 {
             return;
         }
         // Lock-free fast path: strictly worse than the current k-th best can
         // never enter the heap (the threshold only decreases).
-        let time = candidate.epoch_time();
         if time > self.threshold_time() {
             return;
         }
-        let entry = HeapEntry::new(*candidate);
+        let time_bits = time.to_bits();
+        let key = strategy_sort_key(strategy);
         let mut heap = self.heap.lock().expect("top-k heap poisoned");
         if heap.len() < k {
-            heap.push(entry);
+            let candidate = make();
+            debug_assert_eq!(candidate.epoch_time().to_bits(), time_bits);
+            heap.push(HeapEntry { time_bits, key, candidate });
             if heap.len() == k {
                 let worst = heap.peek().expect("non-empty heap");
                 self.threshold.store(worst.time_bits, Ordering::Relaxed);
             }
         } else if let Some(worst) = heap.peek() {
-            if entry < *worst {
+            if (time_bits, key) < (worst.time_bits, worst.key) {
+                let candidate = make();
+                debug_assert_eq!(candidate.epoch_time().to_bits(), time_bits);
                 heap.pop();
-                heap.push(entry);
+                heap.push(HeapEntry { time_bits, key, candidate });
                 let worst = heap.peek().expect("non-empty heap");
                 self.threshold.store(worst.time_bits, Ordering::Relaxed);
             }
@@ -576,6 +820,7 @@ pub(crate) fn finish_report(
 ) -> SearchReport {
     let pruned_by_memory = shared.pruned_memory.load(Ordering::Relaxed);
     let pruned_by_bound = shared.pruned_bound.load(Ordering::Relaxed);
+    let pruned_by_dominance = shared.pruned_dominance.load(Ordering::Relaxed);
     let budgets = powers_of_two(1, constraints.max_pes.max(1));
 
     let (ranked, best_per_budget) = match shared.top_k {
@@ -611,7 +856,14 @@ pub(crate) fn finish_report(
         }
     };
 
-    SearchReport { enumerated, pruned_by_memory, pruned_by_bound, ranked, best_per_budget }
+    SearchReport {
+        enumerated,
+        pruned_by_memory,
+        pruned_by_bound,
+        pruned_by_dominance,
+        ranked,
+        best_per_budget,
+    }
 }
 
 /// Top-k variant of [`finish_report`] taking the per-budget-slot best
@@ -628,6 +880,7 @@ pub(crate) fn finish_report_topk(
 ) -> SearchReport {
     let pruned_by_memory = shared.pruned_memory.load(Ordering::Relaxed);
     let pruned_by_bound = shared.pruned_bound.load(Ordering::Relaxed);
+    let pruned_by_dominance = shared.pruned_dominance.load(Ordering::Relaxed);
     let heap = shared.heap.into_inner().expect("top-k heap poisoned");
     let ranked: Vec<RankedCandidate> =
         heap.into_sorted_vec().into_iter().map(|e| e.candidate).collect();
@@ -646,7 +899,14 @@ pub(crate) fn finish_report_topk(
             best_per_budget.push(BudgetWinner { max_pes: budget, candidate });
         }
     }
-    SearchReport { enumerated, pruned_by_memory, pruned_by_bound, ranked, best_per_budget }
+    SearchReport {
+        enumerated,
+        pruned_by_memory,
+        pruned_by_bound,
+        pruned_by_dominance,
+        ranked,
+        best_per_budget,
+    }
 }
 
 impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
@@ -701,8 +961,25 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
 
     /// Search evaluation through an explicit engine — the shared body of
     /// [`Oracle::search`], the deprecated `search_with_engine`, and the
-    /// ranked arms of `Oracle::answer_with_engine`.
+    /// ranked arms of `Oracle::answer_with_engine`. Runs the analytic
+    /// evaluation kernel ([`crate::kernel`]): SoA prep columns, static
+    /// dominance bounds, masked feasibility filtering and incremental cost
+    /// deltas — returning exactly what the streaming search returns
+    /// (property-tested), only faster.
     pub(crate) fn search_impl(
+        &self,
+        engine: &CostEngine<'_>,
+        constraints: &Constraints,
+    ) -> SearchReport {
+        crate::kernel::kernel_search(engine, constraints)
+    }
+
+    /// The streaming (pre-kernel) search evaluation: every candidate is
+    /// memory- and bound-checked then costed individually through `engine`,
+    /// with rayon across cores. Kept as the mechanical baseline the analytic
+    /// kernel is equivalence-tested and benchmarked against (per-query
+    /// grid baselines in `paradl-bench` pin their "naive" side to this).
+    pub fn search_streaming(
         &self,
         engine: &CostEngine<'_>,
         constraints: &Constraints,
@@ -765,6 +1042,7 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
             enumerated: candidates.len(),
             pruned_by_memory,
             pruned_by_bound: 0,
+            pruned_by_dominance: 0,
             ranked,
             best_per_budget,
         }
@@ -918,6 +1196,58 @@ mod tests {
     }
 
     #[test]
+    fn sieve_enumeration_matches_reference_enumeration() {
+        let m = model();
+        let limits = crate::engine::ModelLimits::of(&m);
+        for sweep in [crate::oracle::PeSweep::PowersOfTwo, crate::oracle::PeSweep::Exhaustive] {
+            let c = Constraints {
+                max_pes: 256,
+                sweep,
+                pipeline_segments: 16,
+                ..Constraints::default()
+            };
+            for batch in [17usize, 48, 64, 96] {
+                let fast = StrategySpace::with_limits(batch, &c, &limits).into_vec();
+                let reference = StrategySpace::with_limits_reference(batch, &c, &limits).into_vec();
+                assert_eq!(fast, reference, "sweep {sweep:?}, batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_survives_degenerate_constraint_edges() {
+        // max_pes = 1 collapses the space to Serial-only and a single
+        // budget slot; a tiny memory capacity memory-prunes everything.
+        // Both must flow through the kernel's mask path without
+        // over-pruning or a slot-index panic.
+        let (m, d, cl, cfg) = oracle_parts();
+        let oracle = Oracle::new(&m, &d, &cl, cfg);
+        let single = Constraints { max_pes: 1, top_k: Some(4), ..Constraints::default() };
+        let report = oracle.search(&single);
+        let serial = oracle.search_serial(&single);
+        assert_eq!(report.enumerated, serial.enumerated);
+        assert_eq!(report.ranked.len(), serial.ranked.len());
+        assert!(!report.ranked.is_empty(), "Serial always fits");
+        for (a, b) in report.ranked.iter().zip(&serial.ranked) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.projection, b.projection);
+        }
+        assert_eq!(report.best_per_budget.len(), serial.best_per_budget.len());
+
+        let tiny = Constraints {
+            max_pes: 256,
+            memory_capacity_bytes: 1.0,
+            top_k: Some(4),
+            ..Constraints::default()
+        };
+        let starved = oracle.search(&tiny);
+        assert!(starved.ranked.is_empty(), "nothing fits in one byte");
+        assert_eq!(starved.pruned_by_memory, starved.enumerated);
+        assert_eq!(starved.pruned_by_dominance, 0);
+        assert!(starved.best_per_budget.is_empty());
+    }
+
+    #[test]
     fn parallel_and_serial_search_agree_exactly() {
         let (m, d, cl, cfg) = oracle_parts();
         let oracle = Oracle::new(&m, &d, &cl, cfg);
@@ -978,10 +1308,7 @@ mod tests {
                 );
             }
             // Accounting stays consistent.
-            assert_eq!(
-                pruned.evaluated() + pruned.pruned_by_memory + pruned.pruned_by_bound,
-                pruned.enumerated
-            );
+            assert_eq!(pruned.evaluated() + pruned.pruned(), pruned.enumerated);
         }
     }
 

@@ -143,6 +143,54 @@ proptest! {
     }
 
     #[test]
+    fn fused_prep_terms_are_bit_identical(
+        model in arb_model(),
+        config in arb_config(),
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
+        for s in sample_candidates(&model, config.batch_size) {
+            // The kernel's fused prep pass and scalar epoch time must be
+            // *bit*-identical to the separate calls they replace — the
+            // analytic kernel's exactness rests on it.
+            let (mem, lb) = engine.prep_terms(s);
+            prop_assert!(mem.to_bits() == engine.memory_per_pe(s).to_bits(), "{s}: memory");
+            prop_assert!(lb.to_bits() == engine.lower_bound(s).to_bits(), "{s}: bound");
+            let scalar = engine.epoch_time(s);
+            let full = engine.estimate(s).epoch_time();
+            prop_assert!(scalar.to_bits() == full.to_bits(), "{s}: {scalar} != {full}");
+        }
+    }
+
+    #[test]
+    fn estimate_delta_matches_full_estimate_on_adjacent_pairs(
+        model in arb_model(),
+        config in arb_config(),
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
+        // The sorted strategy space delivers exactly the adjacency the
+        // full-ranking kernel chains deltas over; require *exact* equality
+        // (stronger than the 1e-9 gate — the delta path only copies terms
+        // it proves bit-identical and recomputes the rest verbatim).
+        let cands = sample_candidates(&model, config.batch_size);
+        let mut prev: Option<CostEstimate> = None;
+        for s in cands {
+            let full = engine.estimate(s);
+            if let Some(p) = prev.as_ref() {
+                let delta = engine.estimate_delta(p, s);
+                prop_assert!(
+                    delta == full,
+                    "{} -> {s}: delta {delta:?} != full {full:?}", p.strategy
+                );
+            }
+            prev = Some(full);
+        }
+    }
+
+    #[test]
     fn pruned_search_finds_the_reference_optimum(
         model in arb_model(),
         config in arb_config(),

@@ -131,11 +131,8 @@ proptest! {
             prop_assert!(a.strategy == b.strategy);
             prop_assert!(a.projection == b.projection);
         }
-        // Accounting adds up.
-        prop_assert!(
-            pruned.evaluated() + pruned.pruned_by_memory + pruned.pruned_by_bound
-                == pruned.enumerated
-        );
+        // Accounting adds up (memory + dynamic bound + static dominance).
+        prop_assert!(pruned.evaluated() + pruned.pruned() == pruned.enumerated);
     }
 
     #[test]

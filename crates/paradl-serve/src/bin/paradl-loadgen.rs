@@ -105,6 +105,11 @@ struct StatsAgg {
     eval_us_sum: u64,
     queue_us_sum: u64,
     cache_hits: u64,
+    // Kernel work counters: how many candidates the server's evaluation
+    // kernel costed vs pruned for the answers in this run — the serve-side
+    // view of the analytic kernel's pruning rate.
+    candidates_evaluated: u64,
+    candidates_pruned: u64,
     // Degradation-ladder engagement: answers the server stepped down under
     // pressure instead of shedding. Visible next to shed/expired so the
     // ladder's engagement rate per concurrency level is in the report.
@@ -125,6 +130,8 @@ impl StatsAgg {
         self.eval_us_sum += stats.eval_us;
         self.queue_us_sum += stats.queue_us;
         self.cache_hits += u64::from(stats.cache_hit);
+        self.candidates_evaluated += stats.candidates_evaluated as u64;
+        self.candidates_pruned += stats.candidates_pruned as u64;
         self.degraded += u64::from(stats.degraded > 0);
     }
 
@@ -135,6 +142,8 @@ impl StatsAgg {
         self.eval_us_sum += other.eval_us_sum;
         self.queue_us_sum += other.queue_us_sum;
         self.cache_hits += other.cache_hits;
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.candidates_pruned += other.candidates_pruned;
         self.degraded += other.degraded;
         self.shed += other.shed;
         self.deadline_expired += other.deadline_expired;
@@ -225,6 +234,8 @@ struct Measurement {
     mean_coalesced: f64,
     mean_eval_us: f64,
     cache_hit_rate: f64,
+    candidates_evaluated: u64,
+    candidates_pruned: u64,
     degraded: u64,
     shed: u64,
     deadline_expired: u64,
@@ -244,6 +255,8 @@ fn measure(target: &Bind, concurrency: usize, window: Duration) -> Result<Measur
         mean_coalesced: agg.mean(agg.coalesced_sum),
         mean_eval_us: agg.mean(agg.eval_us_sum),
         cache_hit_rate: agg.mean(agg.cache_hits),
+        candidates_evaluated: agg.candidates_evaluated,
+        candidates_pruned: agg.candidates_pruned,
         degraded: agg.degraded,
         shed: agg.shed,
         deadline_expired: agg.deadline_expired,
@@ -260,6 +273,8 @@ fn measurement_json(m: &Measurement) -> Json {
         ("mean_coalesced", Json::Num(m.mean_coalesced)),
         ("mean_eval_us", Json::Num(m.mean_eval_us)),
         ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
+        ("candidates_evaluated", Json::count(m.candidates_evaluated as usize)),
+        ("candidates_pruned", Json::count(m.candidates_pruned as usize)),
         ("degraded", Json::count(m.degraded as usize)),
         ("shed", Json::count(m.shed as usize)),
         ("deadline_expired", Json::count(m.deadline_expired as usize)),

@@ -247,6 +247,14 @@ pub struct AnswerStats {
     /// query down under overload (0 = answered at the requested depth,
     /// 1 = ranked depth capped at top-10, 2 = downgraded to a suggestion).
     pub degraded: usize,
+    /// How many candidates the evaluation kernel actually costed for this
+    /// answer's cell (enumerated minus every pruning class). Zero for
+    /// answer kinds that carry no search report.
+    pub candidates_evaluated: usize,
+    /// How many enumerated candidates were pruned before costing (memory +
+    /// static dominance + dynamic bound). Zero for answer kinds that carry
+    /// no search report.
+    pub candidates_pruned: usize,
 }
 
 impl AnswerStats {
@@ -258,6 +266,8 @@ impl AnswerStats {
             ("queue_us", Json::count(self.queue_us as usize)),
             ("eval_us", Json::count(self.eval_us as usize)),
             ("degraded", Json::count(self.degraded)),
+            ("candidates_evaluated", Json::count(self.candidates_evaluated)),
+            ("candidates_pruned", Json::count(self.candidates_pruned)),
         ])
     }
 
@@ -274,6 +284,8 @@ impl AnswerStats {
             queue_us: field("queue_us")? as u64,
             eval_us: field("eval_us")? as u64,
             degraded: field("degraded")?,
+            candidates_evaluated: field("candidates_evaluated")?,
+            candidates_pruned: field("candidates_pruned")?,
         })
     }
 }
@@ -539,6 +551,8 @@ mod tests {
             queue_us: 120,
             eval_us: 4500,
             degraded: 1,
+            candidates_evaluated: 1234,
+            candidates_pruned: 567,
         };
         for response in [
             Response::Answer { answer: Json::obj([("kind", Json::str("ranked"))]), stats },

@@ -825,6 +825,18 @@ fn run_contained<T>(
     })
 }
 
+/// Evaluation-kernel work counters for one answer: (candidates costed,
+/// candidates pruned before costing) from the search report when the
+/// answer carries one, zero for suggestion/survey answers. Deterministic
+/// on the analytic kernel path (the static dominance count is fixed by
+/// the pre-scan bounds).
+fn kernel_counters(answer: &QueryAnswer) -> (usize, usize) {
+    match answer {
+        QueryAnswer::Ranked(report) => (report.evaluated(), report.pruned()),
+        _ => (0, 0),
+    }
+}
+
 /// Baseline path (coalescing off): evaluate the query from scratch, exactly
 /// like a standalone `Query::run`.
 fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
@@ -835,6 +847,7 @@ fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             let eval_us = start.elapsed().as_micros() as u64;
             record_eval_time(shared, eval_us);
+            let (candidates_evaluated, candidates_pruned) = kernel_counters(&answer);
             Response::Answer {
                 answer: answer.to_json(),
                 stats: AnswerStats {
@@ -844,6 +857,8 @@ fn answer_uncoalesced(p: Pending, shared: &Arc<Shared>) {
                     queue_us,
                     eval_us,
                     degraded: p.degraded,
+                    candidates_evaluated,
+                    candidates_pruned,
                 },
             }
         }
@@ -889,6 +904,7 @@ fn answer_single(p: Pending, shared: &Arc<Shared>) {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             let eval_us = start.elapsed().as_micros() as u64;
             record_eval_time(shared, eval_us);
+            let (candidates_evaluated, candidates_pruned) = kernel_counters(&answer);
             Response::Answer {
                 answer: answer.to_json(),
                 stats: AnswerStats {
@@ -898,6 +914,8 @@ fn answer_single(p: Pending, shared: &Arc<Shared>) {
                     queue_us,
                     eval_us,
                     degraded: p.degraded,
+                    candidates_evaluated,
+                    candidates_pruned,
                 },
             }
         }
@@ -986,6 +1004,8 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
     for p in group {
         let batch = p.query.config.expect("validated at enqueue").batch_size;
         let cell = report.get(0, batch, 0).expect("sweep covers every requested cell");
+        let candidates_evaluated = cell.report.evaluated();
+        let candidates_pruned = cell.report.pruned();
         let answer = QueryAnswer::Ranked(cell.report.clone());
         shared.counters.served.fetch_add(1, Ordering::Relaxed);
         let _ = p.reply.send(Response::Answer {
@@ -997,6 +1017,8 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
                 queue_us: start.duration_since(p.enqueued).as_micros() as u64,
                 eval_us,
                 degraded: p.degraded,
+                candidates_evaluated,
+                candidates_pruned,
             },
         });
     }

@@ -89,6 +89,30 @@ fn served_answers_are_byte_identical_to_local_ones() {
     let (served, stats) = answer_bytes(connection.query(&q, None).unwrap());
     assert_eq!(served, q.run().unwrap().to_json().render());
     assert!(stats.cache_hit, "second identical query should hit the engine-core cache");
+    // A ranked answer carries the kernel work counters. The served path
+    // answers through the coalesced grid sweep, whose batch-invariant
+    // communication-coefficient columns let the static dominance cut use
+    // exact epoch times — it prunes at least as hard as the local
+    // per-query path's compute-only bound — so the individual counters
+    // are path-dependent, but the accounting always closes over the same
+    // path-invariant enumeration total.
+    let local = match q.run().unwrap() {
+        paradl_core::prelude::QueryAnswer::Ranked(report) => report,
+        other => panic!("expected a ranked answer, got {other:?}"),
+    };
+    assert!(stats.candidates_evaluated > 0, "ranked answers report costed candidates");
+    assert_eq!(
+        stats.candidates_evaluated + stats.candidates_pruned,
+        local.evaluated() + local.pruned(),
+        "enumeration accounting diverged"
+    );
+    assert!(
+        stats.candidates_evaluated <= local.evaluated(),
+        "the coefficient-backed grid path should never cost more candidates \
+         than the per-query path ({} > {})",
+        stats.candidates_evaluated,
+        local.evaluated()
+    );
 
     server.shutdown_and_join();
 }
