@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calibrate;
 pub mod cluster;
 pub mod comm;
 pub mod compute;
@@ -67,6 +68,7 @@ pub mod vet;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::calibrate::{CalSample, CalibratedCostModel, Calibration, FamilyScale};
     pub use crate::cluster::{ClusterCache, ClusterSpec, CommLevel};
     pub use crate::comm::{CollectiveAlgorithm, CommModel, LinkParams};
     pub use crate::compute::{ComputeModel, DeviceProfile, LayerTimes, TabulatedProfile};

@@ -6,6 +6,7 @@
 //! suggests the best one, and compares projections with measured results to
 //! compute the accuracy metric reported in §5.2.
 
+use crate::calibrate::Calibration;
 use crate::cluster::ClusterSpec;
 use crate::compute::ComputeModel;
 use crate::config::TrainingConfig;
@@ -221,25 +222,9 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
         self.survey_impl(&self.engine(), p, constraints)
     }
 
-    /// Like [`Oracle::survey`], but evaluates through a [`CostEngine`] the
-    /// caller already built (possibly [`CostEngine::rebatch`]ed), so a
-    /// multi-query sweep pays the engine tabulation once.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Oracle::answer_with_engine with a QueryMode::Survey query"
-    )]
-    pub fn survey_with_engine(
-        &self,
-        engine: &CostEngine<'_>,
-        p: usize,
-        constraints: &Constraints,
-    ) -> Vec<Projection> {
-        self.survey_impl(engine, p, constraints)
-    }
-
     /// Survey evaluation through an explicit engine — the shared body of
-    /// [`Oracle::survey`], the deprecated `survey_with_engine`, and the
-    /// [`QueryMode::Survey`] arm of [`Oracle::answer_with_engine`].
+    /// [`Oracle::survey`] and the [`QueryMode::Survey`] arm of
+    /// [`Oracle::answer_with_engine`] (the engine-reuse entry point).
     pub(crate) fn survey_impl(
         &self,
         engine: &CostEngine<'_>,
@@ -261,32 +246,21 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
     /// [`QueryMode::Suggest`] query; the cached engine core makes repeated
     /// calls cheap.
     pub fn suggest(&self, constraints: &Constraints) -> Option<Projection> {
-        self.suggest_impl(&self.engine(), constraints)
-    }
-
-    /// Like [`Oracle::suggest`], but evaluates through a [`CostEngine`] the
-    /// caller already built (possibly [`CostEngine::rebatch`]ed — the sweep
-    /// limits come from the *engine's* current batch), consistently with the
-    /// exhaustive search.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Oracle::answer_with_engine with a QueryMode::Suggest query"
-    )]
-    pub fn suggest_with_engine(
-        &self,
-        engine: &CostEngine<'_>,
-        constraints: &Constraints,
-    ) -> Option<Projection> {
-        self.suggest_impl(engine, constraints)
+        self.suggest_impl(&self.engine(), constraints, None)
     }
 
     /// Suggest evaluation through an explicit engine — the shared body of
-    /// [`Oracle::suggest`], the deprecated `suggest_with_engine`, and the
-    /// [`QueryMode::Suggest`] arm of [`Oracle::answer_with_engine`].
+    /// [`Oracle::suggest`] and the [`QueryMode::Suggest`] arm of
+    /// [`Oracle::answer_with_engine`]; the sweep limits come from the
+    /// *engine's* current batch, consistently with the exhaustive search.
+    /// With a calibration, candidates compete on *calibrated* epoch time
+    /// and the winning projection is returned calibrated — a family whose
+    /// fitted overheads erase its raw-model advantage loses the suggestion.
     pub(crate) fn suggest_impl(
         &self,
         engine: &CostEngine<'_>,
         constraints: &Constraints,
+        calibration: Option<&Calibration>,
     ) -> Option<Projection> {
         let batch = engine.config().batch_size;
         let mut best: Option<Projection> = None;
@@ -297,6 +271,10 @@ impl<'a, C: ComputeModel + ?Sized> Oracle<'a, C> {
             while p <= max_p {
                 let s = self.instantiate(kind, p, constraints.pipeline_segments);
                 let proj = self.project_engine(engine, s, constraints);
+                let proj = match calibration {
+                    Some(cal) => cal.apply_projection(&proj),
+                    None => proj,
+                };
                 if proj.feasible() {
                     let better = match &best {
                         None => true,
@@ -336,15 +314,33 @@ impl<C: ComputeModel + ?Sized + Sync> Oracle<'_, C> {
     /// caller already built (possibly [`CostEngine::rebatch`]ed or hydrated
     /// from a cached core) — the engine-reuse hook the `paradl-serve`
     /// daemon uses for its non-coalescable modes.
+    /// With `query.calibration` set, answers come back calibrated: the
+    /// suggestion competes on calibrated time, surveys and rankings are
+    /// rescaled ([`QueryAnswer::recalibrated`]) — the search itself runs on
+    /// the uncalibrated engine, whose kernel invariants (bit-consistent
+    /// `CommCoef` reconstruction, admissible lower bounds) presume raw
+    /// analytic costs.
     pub fn answer_with_engine(&self, engine: &CostEngine<'_>, query: &Query) -> QueryAnswer {
         let constraints = query.effective_constraints();
         match query.mode {
-            QueryMode::Suggest => QueryAnswer::Suggestion(self.suggest_impl(engine, &constraints)),
+            QueryMode::Suggest => QueryAnswer::Suggestion(self.suggest_impl(
+                engine,
+                &constraints,
+                query.calibration.as_ref(),
+            )),
             QueryMode::Survey { pes } => {
-                QueryAnswer::Survey(self.survey_impl(engine, pes, &constraints))
+                let survey = QueryAnswer::Survey(self.survey_impl(engine, pes, &constraints));
+                match &query.calibration {
+                    Some(cal) => survey.recalibrated(cal),
+                    None => survey,
+                }
             }
             QueryMode::TopK(_) | QueryMode::FullRank => {
-                QueryAnswer::Ranked(self.search_impl(engine, &constraints))
+                let ranked = QueryAnswer::Ranked(self.search_impl(engine, &constraints));
+                match &query.calibration {
+                    Some(cal) => ranked.recalibrated(cal),
+                    None => ranked,
+                }
             }
         }
     }
@@ -441,8 +437,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the deprecated wrappers must stay equivalence-tested
-    fn with_engine_variants_match_fresh_builds() {
+    fn with_engine_answers_match_fresh_builds() {
         let m = model();
         let d = DeviceProfile::v100();
         let c = ClusterSpec::paper_system();
@@ -450,14 +445,16 @@ mod tests {
         let oracle = Oracle::new(&m, &d, &c, cfg);
         let constraints = Constraints::default();
         let engine = oracle.engine();
+        let suggest = Query::suggest().with_constraints(constraints);
+        let survey = Query::survey(16).with_constraints(constraints);
 
         let fresh = oracle.suggest(&constraints).unwrap();
-        let reused = oracle.suggest_with_engine(&engine, &constraints).unwrap();
-        assert_eq!(fresh.cost, reused.cost);
+        let reused = oracle.answer_with_engine(&engine, &suggest);
+        assert_eq!(fresh.cost, reused.suggestion().unwrap().cost);
 
         assert_eq!(
-            oracle.survey(16, &constraints),
-            oracle.survey_with_engine(&engine, 16, &constraints)
+            oracle.survey(16, &constraints).as_slice(),
+            oracle.answer_with_engine(&engine, &survey).survey().unwrap()
         );
 
         // A rebatched engine answers the other batch's problem exactly.
@@ -466,11 +463,11 @@ mod tests {
         let rebatched = engine.rebatched(128);
         assert_eq!(
             oracle2.suggest(&constraints).unwrap().cost,
-            oracle2.suggest_with_engine(&rebatched, &constraints).unwrap().cost
+            oracle2.answer_with_engine(&rebatched, &suggest).suggestion().unwrap().cost
         );
         assert_eq!(
-            oracle2.survey(16, &constraints),
-            oracle2.survey_with_engine(&rebatched, 16, &constraints)
+            oracle2.survey(16, &constraints).as_slice(),
+            oracle2.answer_with_engine(&rebatched, &survey).survey().unwrap()
         );
     }
 

@@ -26,6 +26,7 @@
 //! serve integration tests assert that a daemon response is byte-identical
 //! to a locally computed `Oracle::answer` on the same query.
 
+use crate::calibrate::Calibration;
 use crate::cluster::ClusterSpec;
 use crate::comm::LinkParams;
 use crate::compute::DeviceProfile;
@@ -74,6 +75,11 @@ pub struct Query {
     pub constraints: Constraints,
     /// What kind of answer to produce.
     pub mode: QueryMode,
+    /// Opt-in calibrated mode: when set, every projection in the answer is
+    /// rescaled by the fitted per-family overhead scales and rankings are
+    /// ordered by *calibrated* time (see [`crate::calibrate`]). `None`
+    /// (default) answers with the raw analytic model.
+    pub calibration: Option<Calibration>,
 }
 
 impl Query {
@@ -138,6 +144,12 @@ impl Query {
         self
     }
 
+    /// Opts into calibrated answers (see [`crate::calibrate`]).
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
     /// The constraints the search actually runs under: the mode's ranking
     /// depth overrides `constraints.top_k` ([`QueryMode::TopK`] forces
     /// `Some(k)`, [`QueryMode::FullRank`] forces `None`; the non-ranking
@@ -197,13 +209,17 @@ impl Query {
         let model = self.model.as_ref().ok_or("query has no model")?;
         let config = self.config.ok_or("query has no config")?;
         let cluster = self.cluster.as_ref().ok_or("query has no cluster")?;
-        Ok(Json::obj([
+        let mut fields = vec![
             ("model", Json::obj([("name", Json::str(&model.name))])),
             ("config", config_to_json(&config)),
             ("cluster", cluster_to_json(cluster)),
             ("constraints", constraints_to_json(&self.constraints)),
             ("mode", mode_to_json(self.mode)),
-        ]))
+        ];
+        if let Some(calibration) = &self.calibration {
+            fields.push(("calibration", calibration.to_json()));
+        }
+        Ok(Json::obj(fields))
     }
 
     /// Parses a wire query. `resolve` maps a model name to a [`Model`]
@@ -225,12 +241,15 @@ impl Query {
         let constraints =
             constraints_from_json(json.get("constraints").ok_or("query missing constraints")?)?;
         let mode = mode_from_json(json.get("mode").ok_or("query missing mode")?)?;
+        // Calibration is opt-in on the wire too: absent means uncalibrated.
+        let calibration = json.get("calibration").map(Calibration::from_json).transpose()?;
         Ok(Query {
             model: Some(model),
             config: Some(config),
             cluster: Some(cluster),
             constraints,
             mode,
+            calibration,
         })
     }
 }
@@ -268,6 +287,37 @@ impl QueryAnswer {
         match self {
             QueryAnswer::Survey(p) => Some(p),
             _ => None,
+        }
+    }
+
+    /// The answer with `calibration` applied to every projection: rescaled
+    /// estimates, and ranked answers re-sorted by *calibrated* epoch time
+    /// (stable, so calibrated ties keep the engine's deterministic order).
+    /// The candidate set itself is the uncalibrated search's — under
+    /// [`QueryMode::TopK`] a candidate outside the uncalibrated top-k stays
+    /// outside; [`QueryMode::FullRank`] has no such truncation. The
+    /// per-budget winners keep their (uncalibrated-winner) identity with
+    /// rescaled projections.
+    pub fn recalibrated(&self, calibration: &Calibration) -> QueryAnswer {
+        match self {
+            QueryAnswer::Suggestion(p) => {
+                QueryAnswer::Suggestion(p.as_ref().map(|p| calibration.apply_projection(p)))
+            }
+            QueryAnswer::Survey(ps) => {
+                QueryAnswer::Survey(ps.iter().map(|p| calibration.apply_projection(p)).collect())
+            }
+            QueryAnswer::Ranked(report) => {
+                let mut report = report.clone();
+                for candidate in &mut report.ranked {
+                    candidate.projection = calibration.apply_projection(&candidate.projection);
+                }
+                report.ranked.sort_by(|a, b| a.epoch_time().total_cmp(&b.epoch_time()));
+                for winner in &mut report.best_per_budget {
+                    winner.candidate.projection =
+                        calibration.apply_projection(&winner.candidate.projection);
+                }
+                QueryAnswer::Ranked(report)
+            }
         }
     }
 

@@ -84,22 +84,33 @@ pub struct ErrorStats {
 }
 
 impl ErrorStats {
-    /// Aggregates `samples`; returns `None` when the slice is empty.
+    /// Aggregates `samples`; returns `None` when no *usable* sample
+    /// remains. Degenerate samples — a non-finite projected or measured
+    /// time, or a measured time ≤ 0 — are filtered out first: a single
+    /// `NaN`/`inf` measurement would otherwise poison every mean in the
+    /// report (`mean_ape`/`mean_accuracy` → inf/NaN), and a zero
+    /// measurement carries no error information (every relative metric is
+    /// undefined on it). The `samples` count reflects only the aggregated
+    /// (usable) samples.
     pub fn of(samples: &[ErrorSample]) -> Option<ErrorStats> {
-        if samples.is_empty() {
+        let usable: Vec<&ErrorSample> = samples
+            .iter()
+            .filter(|s| s.projected.is_finite() && s.measured.is_finite() && s.measured > 0.0)
+            .collect();
+        if usable.is_empty() {
             return None;
         }
-        let n = samples.len() as f64;
-        let mut apes: Vec<f64> = samples.iter().map(|s| s.ape()).collect();
+        let n = usable.len() as f64;
+        let mut apes: Vec<f64> = usable.iter().map(|s| s.ape()).collect();
         apes.sort_by(f64::total_cmp);
         Some(ErrorStats {
-            samples: samples.len(),
-            mean_signed_error: samples.iter().map(|s| s.signed_error()).sum::<f64>() / n,
+            samples: usable.len(),
+            mean_signed_error: usable.iter().map(|s| s.signed_error()).sum::<f64>() / n,
             mean_ape: apes.iter().sum::<f64>() / n,
             p50_ape: percentile(&apes, 0.50),
             p90_ape: percentile(&apes, 0.90),
             max_ape: *apes.last().expect("non-empty"),
-            mean_accuracy: samples.iter().map(|s| s.accuracy()).sum::<f64>() / n,
+            mean_accuracy: usable.iter().map(|s| s.accuracy()).sum::<f64>() / n,
         })
     }
 }
@@ -163,17 +174,18 @@ impl FidelityReport {
 
         let cells: Vec<CellFidelity> = cells
             .into_iter()
-            .filter(|(_, samples)| !samples.is_empty())
-            .map(|(query, samples)| {
+            .filter_map(|(query, samples)| {
+                // A cell whose every sample is degenerate (see
+                // [`ErrorStats::of`]) is dropped like an empty one.
+                let stats = ErrorStats::of(&samples)?;
                 let projected: Vec<f64> = samples.iter().map(|s| s.projected).collect();
                 let measured: Vec<f64> = samples.iter().map(|s| s.measured).collect();
-                let stats = ErrorStats::of(&samples).expect("non-empty cell");
-                CellFidelity {
+                Some(CellFidelity {
                     query,
                     rank_correlation: spearman_rho(&projected, &measured),
                     stats,
                     samples,
-                }
+                })
             })
             .collect();
 
@@ -288,6 +300,48 @@ mod tests {
         assert!((stats.mean_signed_error - 0.05).abs() < 1e-12);
         assert!(stats.p50_ape <= stats.p90_ape && stats.p90_ape <= stats.max_ape);
         assert!(ErrorStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn stats_filter_degenerate_samples() {
+        // One NaN, one inf, one zero-measured and one non-finite-projected
+        // sample must not poison the means of the three good samples.
+        let good = [1.1f64, 0.9, 1.0];
+        let mut samples: Vec<ErrorSample> =
+            good.iter().map(|&p| sample(Strategy::Data { p: 2 }, p, 1.0)).collect();
+        let clean = ErrorStats::of(&samples).unwrap();
+        samples.push(sample(Strategy::Data { p: 4 }, 1.0, f64::NAN));
+        samples.push(sample(Strategy::Data { p: 8 }, 1.0, f64::INFINITY));
+        samples.push(sample(Strategy::Data { p: 16 }, 1.0, 0.0));
+        samples.push(sample(Strategy::Data { p: 32 }, f64::INFINITY, 1.0));
+        let stats = ErrorStats::of(&samples).unwrap();
+        assert_eq!(stats, clean, "degenerate samples changed the statistics");
+        assert_eq!(stats.samples, 3);
+        assert!(stats.mean_ape.is_finite() && stats.mean_accuracy.is_finite());
+        assert!(stats.mean_signed_error.is_finite());
+    }
+
+    #[test]
+    fn stats_of_only_degenerate_samples_is_none() {
+        let samples = [
+            sample(Strategy::Serial, 1.0, f64::NAN),
+            sample(Strategy::Serial, 1.0, 0.0),
+            sample(Strategy::Serial, 1.0, -2.0),
+        ];
+        assert!(ErrorStats::of(&samples).is_none());
+    }
+
+    #[test]
+    fn report_drops_cells_with_only_degenerate_samples() {
+        let q = |m: usize| GridQuery { model: m, cluster: 0, batch: 64 };
+        let cells = vec![
+            (q(0), vec![sample(Strategy::Data { p: 2 }, 1.0, 1.0)]),
+            (q(1), vec![sample(Strategy::Serial, 1.0, f64::NAN)]),
+        ];
+        let report = FidelityReport::from_cells(cells).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.num_samples(), 1);
+        assert!(report.overall.mean_accuracy.is_finite());
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Property-based tests of the calibration fit (PR 10): for *any* random
+//! replay population the closed-form fit must be deterministic for a fixed
+//! seed, must never increase a family's training bias or decrease its
+//! training accuracy (the identity is always a candidate), must only emit
+//! admissible parameters, and the identity [`CalibratedCostModel`] must be
+//! bit-identical to the raw engine on random models and strategies.
+
+use paradl_core::prelude::*;
+use proptest::prelude::{prop_assert, proptest, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+
+/// SplitMix64 — expands one drawn seed into a whole sample population
+/// (the proptest shim has no collection strategies).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+}
+
+/// A random replay population: mixed families, phase magnitudes spanning
+/// several decades, measured times that are a noisy phase-structured
+/// transform of the projections (the realistic case) — plus the occasional
+/// degenerate sample the fit must ignore.
+fn population(seed: u64) -> Vec<CalSample> {
+    let mut rng = Mix(seed);
+    let n = rng.usize(2, 40);
+    // Hidden per-population "truth" the measured side is generated from.
+    let compute_bias = rng.f64(0.5, 2.5);
+    let comm_bias = rng.f64(0.5, 3.0);
+    let latency = rng.f64(0.0, 0.05);
+    (0..n)
+        .map(|i| {
+            let p = 1usize << rng.usize(1, 6);
+            let strategy = match rng.usize(0, 5) {
+                0 => Strategy::Data { p },
+                1 => Strategy::Filter { p },
+                2 => Strategy::Spatial { split: SpatialSplit::width_only(p) },
+                3 => Strategy::DataFilter { p1: p, p2: 1 << rng.usize(1, 4) },
+                _ => Strategy::Pipeline { p, segments: 2 * p },
+            };
+            let compute = rng.f64(1e-3, 20.0);
+            let comm = rng.f64(0.0, 10.0);
+            let iterations = rng.usize(1, 400) as f64;
+            let noise = rng.f64(0.85, 1.15);
+            let mut measured =
+                (compute_bias * compute + comm_bias * comm + latency * iterations) * noise;
+            // A few poisoned samples that `usable()` must filter out.
+            if i % 11 == 10 {
+                measured = match rng.usize(0, 3) {
+                    0 => 0.0,
+                    1 => f64::NAN,
+                    _ => f64::INFINITY,
+                };
+            }
+            let (mut grad, mut fbc, mut halo, mut p2p) = (0.0, 0.0, 0.0, 0.0);
+            match strategy.kind() {
+                StrategyKind::Filter | StrategyKind::Channel => fbc = comm,
+                StrategyKind::Spatial => halo = comm,
+                StrategyKind::Pipeline => p2p = comm,
+                _ => grad = comm,
+            }
+            CalSample { strategy, compute, grad, fbc, halo, p2p, iterations, measured }
+        })
+        .collect()
+}
+
+/// Training-set metrics of one family under a calibration: mean signed
+/// relative error and mean §5.2 accuracy over the usable samples.
+fn family_metrics(
+    samples: &[CalSample],
+    kind: StrategyKind,
+    cal: &Calibration,
+) -> Option<(f64, f64)> {
+    let fam: Vec<&CalSample> =
+        samples.iter().filter(|s| s.strategy.kind() == kind && s.usable()).collect();
+    if fam.is_empty() {
+        return None;
+    }
+    let n = fam.len() as f64;
+    let signed = fam.iter().map(|s| (cal.project(s) - s.measured) / s.measured).sum::<f64>() / n;
+    let accuracy =
+        fam.iter().map(|s| projection_accuracy(cal.project(s), s.measured)).sum::<f64>() / n;
+    Some((signed, accuracy))
+}
+
+fn arb_model() -> impl PropStrategy<Value = Model> {
+    (prop_oneof_spatial(), 1usize..4, 4usize..24, 2usize..8).prop_map(
+        |(s, depth, base_ch, classes)| {
+            let mut layers = Vec::new();
+            let mut ch = 3usize;
+            let mut hw = s;
+            for i in 0..depth {
+                let out = base_ch * (i + 1);
+                layers.push(Layer::conv2d(format!("conv{i}"), ch, out, (hw, hw), 3, 1, 1));
+                if hw >= 8 {
+                    layers.push(Layer::pool2d(format!("pool{i}"), out, (hw, hw), 2, 2));
+                    hw /= 2;
+                }
+                ch = out;
+            }
+            layers.push(Layer::global_pool("gpool", ch, &[hw, hw]));
+            layers.push(Layer::fully_connected("fc", ch, classes));
+            Model::new("random", 3, vec![s, s], layers)
+        },
+    )
+}
+
+fn prop_oneof_spatial() -> impl PropStrategy<Value = usize> {
+    use proptest::prelude::{prop_oneof, Just};
+    prop_oneof![Just(16usize), Just(32)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fit_is_deterministic_for_a_fixed_seed(seed in 0u64..u64::MAX, cal_seed in 0u64..1024) {
+        let samples = population(seed);
+        let a = Calibration::fit(&samples, cal_seed);
+        let b = Calibration::fit(&samples, cal_seed);
+        // Bit-for-bit: the closed-form solve has no hidden state. The JSON
+        // render is compared too so serialization cannot smuggle in
+        // nondeterminism.
+        prop_assert!(a == b, "fit differs across identical calls");
+        prop_assert!(a.to_json().render() == b.to_json().render());
+        prop_assert!(a.seed == cal_seed);
+    }
+
+    #[test]
+    fn fit_never_worsens_training_bias_or_accuracy(seed in 0u64..u64::MAX) {
+        let samples = population(seed);
+        let identity = Calibration::identity();
+        let cal = Calibration::fit(&samples, 0);
+        for kind in StrategyKind::ALL {
+            let (Some((s0, a0)), Some((s1, a1))) = (
+                family_metrics(&samples, kind, &identity),
+                family_metrics(&samples, kind, &cal),
+            ) else {
+                continue;
+            };
+            // The identity is always a fit candidate and every fitted
+            // candidate is bias-zeroed, so on its own training samples a
+            // family can neither lose accuracy nor gain |signed error|.
+            prop_assert!(
+                s1.abs() <= s0.abs() + 1e-9,
+                "{kind}: |signed| grew {:+.4} -> {:+.4}", s0, s1
+            );
+            prop_assert!(
+                a1 >= a0 - 1e-9,
+                "{kind}: accuracy fell {:.4} -> {:.4}", a0, a1
+            );
+        }
+    }
+
+    #[test]
+    fn fit_only_emits_admissible_parameters(seed in 0u64..u64::MAX) {
+        let samples = population(seed);
+        let cal = Calibration::fit(&samples, 0);
+        // Round-tripping through JSON re-validates every family against the
+        // admissibility gate (positive multipliers, non-negative additive
+        // terms) — an inadmissible fit output would fail to parse.
+        let back = Calibration::from_json(&cal.to_json());
+        prop_assert!(back.is_ok(), "fit emitted inadmissible parameters: {:?}", back.err());
+        prop_assert!(back.unwrap() == cal);
+        for s in &samples {
+            if s.usable() {
+                let p = cal.project(s);
+                prop_assert!(p.is_finite() && p >= 0.0, "projection {p} for {}", s.strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_calibrated_model_is_bit_identical_to_engine(
+        model in arb_model(),
+        dataset in 512usize..4096,
+        log_batch in 4usize..7,
+    ) {
+        let device = DeviceProfile::v100();
+        let cluster = ClusterSpec::paper_system();
+        let config = TrainingConfig::small(dataset, 1 << log_batch);
+        let engine = CostEngine::new(&model, &device, &cluster, config).expect("engine builds");
+        let calibrated = CalibratedCostModel::new(&engine, Calibration::identity());
+        let constraints = Constraints { max_pes: 128, ..Constraints::default() };
+        for s in StrategySpace::new(&model, config.batch_size, &constraints).take(200) {
+            let raw = engine.estimate(s);
+            let cal = calibrated.estimate(s);
+            prop_assert!(
+                raw.epoch_time().to_bits() == cal.epoch_time().to_bits(),
+                "{s}: identity calibration changed bits: {} vs {}",
+                raw.epoch_time(), cal.epoch_time()
+            );
+            prop_assert!(raw == cal, "{s}: estimates differ");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! bandwidth — that is how both self-contention (hybrid strategies) and
 //! external congestion appear.
 
+use paradl_core::cluster::ClusterSpec;
 use paradl_core::comm::LinkParams;
 
 /// Direction of traversal of a (full-duplex) link. Traffic in opposite
@@ -81,6 +82,23 @@ impl FatTree {
             intra_node: LinkParams::nvlink(),
             node_uplink: LinkParams::infiniband_edr(),
             rack_uplink: LinkParams::infiniband_oversubscribed(),
+        }
+    }
+
+    /// A fat-tree with the link hierarchy of `cluster`, sized for at least
+    /// `min_gpus` GPUs: node size and per-level link parameters come from the
+    /// [`ClusterSpec`], so the simulated topology prices the same links the
+    /// analytical oracle does. For [`ClusterSpec::paper_system`] this is
+    /// parameter-for-parameter [`FatTree::paper_system`].
+    pub fn from_cluster(cluster: &ClusterSpec, min_gpus: usize) -> Self {
+        let per_rack = cluster.gpus_per_node * cluster.nodes_per_rack;
+        FatTree {
+            gpus_per_node: cluster.gpus_per_node,
+            nodes_per_rack: cluster.nodes_per_rack,
+            racks: min_gpus.div_ceil(per_rack.max(1)).max(1),
+            intra_node: cluster.intra_node,
+            node_uplink: cluster.intra_rack,
+            rack_uplink: cluster.inter_rack,
         }
     }
 
@@ -192,6 +210,28 @@ mod tests {
         assert_eq!(t.node_of(5), 1);
         assert_eq!(t.gpu_of(5), 1);
         assert_eq!(t.rack_of(4 * 17), 1);
+    }
+
+    #[test]
+    fn paper_cluster_maps_to_paper_topology() {
+        // The cluster-derived tree of the paper system is the paper tree:
+        // simulations on the default cluster are unchanged by the mapping.
+        for n in [4usize, 64, 1024] {
+            assert_eq!(
+                FatTree::from_cluster(&ClusterSpec::paper_system(), n),
+                FatTree::paper_system(n)
+            );
+        }
+        // A fatter cluster changes the simulated links too.
+        let fat = ClusterSpec {
+            gpus_per_node: 8,
+            intra_rack: LinkParams::from_latency_bandwidth(10.0, 25.0),
+            ..ClusterSpec::paper_system()
+        };
+        let t = FatTree::from_cluster(&fat, 64);
+        assert_eq!(t.gpus_per_node, 8);
+        assert_eq!(t.node_uplink, fat.intra_rack);
+        assert!(t.total_pes() >= 64);
     }
 
     #[test]

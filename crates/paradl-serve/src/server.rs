@@ -1006,7 +1006,12 @@ fn answer_ranked_group(group: Vec<Pending>, sweep: &GridSweep, shared: &Arc<Shar
         let cell = report.get(0, batch, 0).expect("sweep covers every requested cell");
         let candidates_evaluated = cell.report.evaluated();
         let candidates_pruned = cell.report.pruned();
-        let answer = QueryAnswer::Ranked(cell.report.clone());
+        let mut answer = QueryAnswer::Ranked(cell.report.clone());
+        // Calibration is per-query, applied after the shared sweep: queries
+        // differing only in calibration still coalesce onto one sweep.
+        if let Some(calibration) = &p.query.calibration {
+            answer = answer.recalibrated(calibration);
+        }
         shared.counters.served.fetch_add(1, Ordering::Relaxed);
         let _ = p.reply.send(Response::Answer {
             answer: answer.to_json(),

@@ -26,6 +26,7 @@
 
 use crate::engine::Simulator;
 use crate::overheads::OverheadModel;
+use paradl_core::calibrate::{CalSample, Calibration};
 use paradl_core::grid::{GridQuery, GridReport, GridSweep, QueryGrid};
 use paradl_core::search::RankedCandidate;
 use paradl_core::validate::{ErrorSample, FidelityReport};
@@ -129,6 +130,52 @@ impl Conformance {
     ) -> Option<FidelityReport> {
         let jobs = self.jobs(report);
         let samples: Vec<ErrorSample> = jobs.iter().map(|job| self.replay(grid, job)).collect();
+        self.assemble(report, &jobs, samples)
+    }
+
+    /// Fits a per-family overhead [`Calibration`] from the winners of an
+    /// already-computed sweep: every (cell, candidate) job is replayed with
+    /// exactly the seeds [`Conformance::validate_sweep`] uses, so the fit's
+    /// training measurements are the validation sweep's measurements — the
+    /// closed §5.2 loop. Returns `None` when the sweep has no replayable
+    /// winner. Deterministic: same grid, report and harness seed give a
+    /// bit-equal calibration.
+    pub fn fit(&self, grid: &QueryGrid, report: &GridReport) -> Option<Calibration> {
+        let jobs = self.jobs(report);
+        if jobs.is_empty() {
+            return None;
+        }
+        let samples: Vec<CalSample> = jobs
+            .par_iter()
+            .map(|job| {
+                let measured = self.replay(grid, job).measured;
+                CalSample::from_estimate(&job.candidate.projection.cost, measured)
+            })
+            .collect();
+        Some(Calibration::fit(&samples, self.base_seed))
+    }
+
+    /// [`Conformance::validate_sweep`] with the projections rescaled by a
+    /// fitted [`Calibration`] before comparison. The measured side is
+    /// byte-identical to the uncalibrated sweep (same jobs, same derived
+    /// seeds), so an uncalibrated/calibrated report pair isolates exactly
+    /// the effect of the calibration.
+    pub fn validate_sweep_calibrated(
+        &self,
+        grid: &QueryGrid,
+        report: &GridReport,
+        calibration: &Calibration,
+    ) -> Option<FidelityReport> {
+        let jobs = self.jobs(report);
+        let samples: Vec<ErrorSample> = jobs
+            .par_iter()
+            .map(|job| {
+                let mut sample = self.replay(grid, job);
+                sample.projected =
+                    calibration.apply_estimate(&job.candidate.projection.cost).epoch_time();
+                sample
+            })
+            .collect();
         self.assemble(report, &jobs, samples)
     }
 
@@ -303,6 +350,58 @@ mod tests {
         // More overhead biases the signed error downward (oracle
         // under-projects the measured time more often).
         assert!(real.overall.mean_signed_error < ideal.overall.mean_signed_error);
+    }
+
+    #[test]
+    fn fit_is_deterministic_and_improves_training_fidelity() {
+        let grid = small_grid();
+        let sweep = GridSweep::new().run(&grid);
+        let harness = Conformance::new().with_overheads(OverheadModel::chainermnx());
+        let uncal = harness.validate_sweep(&grid, &sweep).expect("winners");
+        let cal = harness.fit(&grid, &sweep).expect("winners to fit on");
+        assert_eq!(cal, harness.fit(&grid, &sweep).expect("winners"), "fit not deterministic");
+        assert_eq!(cal.seed, harness.base_seed);
+        let calibrated = harness.validate_sweep_calibrated(&grid, &sweep, &cal).expect("winners");
+        // Same jobs, same seeds: the measured side is identical, so the
+        // comparison isolates the calibration.
+        assert_eq!(uncal.overall.samples, calibrated.overall.samples);
+        // The identity candidate in the fit guarantees no family scores
+        // below its uncalibrated training accuracy.
+        for fam in &calibrated.families {
+            let before = uncal.family(fam.family).expect("same families").stats;
+            assert!(
+                fam.stats.mean_accuracy >= before.mean_accuracy - 1e-9,
+                "{}: {:.4} -> {:.4}",
+                fam.family,
+                before.mean_accuracy,
+                fam.stats.mean_accuracy
+            );
+            assert!(
+                fam.stats.mean_signed_error.abs() <= before.mean_signed_error.abs() + 1e-9,
+                "{}: signed {:+.4} -> {:+.4}",
+                fam.family,
+                before.mean_signed_error,
+                fam.stats.mean_signed_error
+            );
+        }
+        assert!(
+            calibrated.overall.mean_accuracy >= uncal.overall.mean_accuracy - 1e-9,
+            "overall accuracy regressed: {:.4} -> {:.4}",
+            uncal.overall.mean_accuracy,
+            calibrated.overall.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn identity_calibration_reproduces_uncalibrated_sweep() {
+        let grid = small_grid();
+        let sweep = GridSweep::new().run(&grid);
+        let harness = Conformance::new();
+        let uncal = harness.validate_sweep(&grid, &sweep).expect("winners");
+        let id = harness
+            .validate_sweep_calibrated(&grid, &sweep, &Calibration::identity())
+            .expect("winners");
+        assert_eq!(uncal, id);
     }
 
     #[test]

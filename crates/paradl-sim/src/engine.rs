@@ -83,9 +83,17 @@ impl<'a, C: ComputeModel + ?Sized> Simulator<'a, C> {
 
     fn topology(&self, pes: usize) -> FatTree {
         if pes <= self.cluster.gpus_per_node {
-            FatTree::single_node(self.cluster.gpus_per_node)
+            // All traffic stays on the node's intra-node links.
+            FatTree {
+                intra_node: self.cluster.intra_node,
+                ..FatTree::single_node(self.cluster.gpus_per_node)
+            }
         } else {
-            FatTree::paper_system(pes)
+            // The simulated tree prices the same per-level links the
+            // analytical oracle does — previously this was hardwired to the
+            // paper system, so different cluster specs "measured" identical
+            // times and the conformance cluster axis carried no signal.
+            FatTree::from_cluster(self.cluster, pes)
         }
     }
 
